@@ -1,0 +1,53 @@
+// Shared formatting helpers for the figure-regeneration binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace dssmr::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+inline const char* mix_name(const workload::ChirperMix& mix) {
+  if (mix.timeline == 1.0) return "Timeline";
+  if (mix.post == 1.0) return "Post";
+  if (mix.follow > 0 && mix.timeline == 0) return "Follow/Unfollow";
+  return "Mix(85/7.5/7.5)";
+}
+
+inline void print_run_header() {
+  std::printf("%-22s %5s %10s %10s %8s %8s %8s %9s %9s %9s\n", "strategy", "parts",
+              "tput(cps)", "lat(us)", "p50", "p95", "p99", "moves", "retries", "consults");
+}
+
+inline void print_run_row(const std::string& label, std::size_t partitions,
+                          const harness::RunResult& r) {
+  std::printf("%-22s %5zu %10.0f %10.0f %8lld %8lld %8lld %9llu %9llu %9llu\n", label.c_str(),
+              partitions, r.throughput_cps, r.latency_avg_us,
+              static_cast<long long>(r.latency_p50_us),
+              static_cast<long long>(r.latency_p95_us),
+              static_cast<long long>(r.latency_p99_us),
+              static_cast<unsigned long long>(r.counter("moves.total")),
+              static_cast<unsigned long long>(r.counter("client.retries")),
+              static_cast<unsigned long long>(r.counter("client.consults")));
+}
+
+/// Per-second series as one row per second.
+inline void print_series(const char* name, const std::vector<double>& series) {
+  std::printf("%s:", name);
+  for (double v : series) std::printf(" %.0f", v);
+  std::printf("\n");
+}
+
+}  // namespace dssmr::bench

@@ -1,0 +1,55 @@
+// E9 — Partitioner scaling (the supplied text's "METIS processor and memory
+// usage" figure, for our in-repo METIS substitute).
+//
+// Holme-Kim graphs of growing size; reports wall-clock partitioning time,
+// approximate resident memory of the workload graph + CSR, and cut quality
+// vs a hash placement. Expected shape: near-linear time and memory in graph
+// size (the paper reports METIS scaling linearly to 10M vertices; we sweep
+// to 1M with ~7M edges on the laptop-scale budget).
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+#include "workload/holme_kim.h"
+
+int main() {
+  using namespace dssmr;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("E9: multilevel partitioner scaling (k = 8)\n");
+  std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "vertices", "edges", "build(ms)",
+              "part(ms)", "mem(MB)", "cut%%", "hash-cut%%");
+
+  for (std::uint32_t n : {10'000u, 50'000u, 100'000u, 250'000u, 500'000u, 1'000'000u}) {
+    Rng rng{99};
+    const workload::HolmeKimConfig cfg{.n = n, .m = 7, .p_triad = 0.7};
+
+    auto t0 = Clock::now();
+    partition::GraphBuilder builder;
+    builder.touch(n - 1);
+    for (auto [u, v] : workload::holme_kim(cfg, rng)) builder.add_edge(u, v);
+    partition::Csr g = builder.build();
+    auto t1 = Clock::now();
+
+    partition::PartitionerConfig pcfg;
+    pcfg.k = 8;
+    auto result = partition::partition_graph(g, pcfg);
+    auto t2 = Clock::now();
+
+    const double build_ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+    const double part_ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t2 - t1).count() / 1000.0;
+    const double mem_mb =
+        static_cast<double>(builder.memory_bytes() + g.adj.size() * 12 + g.xadj.size() * 8) /
+        (1024.0 * 1024.0);
+    const double cut = partition::edge_cut_fraction(g, result.part);
+    const double hash_cut =
+        partition::edge_cut_fraction(g, partition::hash_partition(g.vertex_count(), 8));
+
+    std::printf("%10u %12zu %12.1f %12.1f %12.1f %9.2f%% %9.2f%%\n", n, g.edge_count(),
+                build_ms, part_ms, mem_mb, 100.0 * cut, 100.0 * hash_cut);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks of the workload-generation and statistics substrates.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+#include "stats/histogram.h"
+#include "workload/chirper_workload.h"
+#include "workload/holme_kim.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace dssmr;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng{1};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng{2};
+  workload::Zipf zipf{static_cast<std::size_t>(state.range(0)), 0.99};
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  std::int64_t v = 17;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 1103515245 + 12345) & 0xfffff;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  stats::Histogram h;
+  for (int i = 0; i < 100000; ++i) h.record(i);
+  for (auto _ : state) benchmark::DoNotOptimize(h.percentile(0.99));
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_HolmeKimGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng{3};
+    auto edges = workload::holme_kim({.n = n, .m = 3, .p_triad = 0.8}, rng);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HolmeKimGenerate)->Arg(10000)->Arg(100000);
+
+void BM_GraphBuilderAddEdge(benchmark::State& state) {
+  partition::GraphBuilder b;
+  std::uint32_t u = 1;
+  for (auto _ : state) {
+    b.add_edge(u % 10000, (u * 7 + 1) % 10000);
+    ++u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphBuilderAddEdge);
+
+void BM_PartitionGraph(benchmark::State& state) {
+  Rng rng{4};
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  partition::Csr g = workload::holme_kim_csr({.n = n, .m = 3, .p_triad = 0.8}, rng);
+  partition::PartitionerConfig cfg;
+  cfg.k = 8;
+  for (auto _ : state) {
+    auto r = partition::partition_graph(g, cfg);
+    benchmark::DoNotOptimize(r.part.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartitionGraph)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_ChirperWorkloadNext(benchmark::State& state) {
+  Rng seed{5};
+  auto graph = workload::SocialGraph::generate({.n = 10000, .m = 3, .p_triad = 0.8}, seed);
+  workload::ChirperWorkloadConfig cfg;
+  cfg.mix = workload::mixes::kTimelineHeavy;
+  workload::ChirperWorkload wl{graph, cfg, 6};
+  for (auto _ : state) {
+    auto cmd = wl.next();
+    benchmark::DoNotOptimize(cmd.write_set.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChirperWorkloadNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Chirper: the Twitter-like service of the paper's evaluation (Section 5.2).
+//
+// Each user is one state variable holding profile links (followers /
+// following) and a materialized timeline. Post fan-out writes the new post
+// into every follower's timeline at post time, which makes getTimeline a
+// guaranteed single-partition command — the design decision the paper calls
+// out; the flip side is that post/follow/unfollow may touch several
+// partitions and therefore drive DS-SMR's moves.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smr/app.h"
+#include "smr/command.h"
+
+namespace dssmr::chirper {
+
+enum Op : std::uint32_t {
+  kPost = 1,         // write_set = {poster} ∪ followers(poster); arg = text
+  kFollow = 2,       // write_set = {follower, followee}
+  kUnfollow = 3,     // write_set = {follower, followee}
+  kGetTimeline = 4,  // read_set = {user}
+};
+
+constexpr std::size_t kTimelineCap = 50;
+constexpr std::size_t kMaxPostLength = 140;
+
+struct Post {
+  VarId author{};
+  std::uint64_t seq = 0;  // command id: deterministic, totally ordered per user
+  std::string text;
+};
+
+struct UserValue final : smr::VarValue {
+  std::vector<VarId> followers;
+  std::vector<VarId> following;
+  std::deque<Post> timeline;  // newest at the back, capped at kTimelineCap
+
+  std::unique_ptr<smr::VarValue> clone() const override {
+    return std::make_unique<UserValue>(*this);
+  }
+  std::size_t size_bytes() const override {
+    std::size_t n = 64 + (followers.size() + following.size()) * 8;
+    for (const Post& p : timeline) n += 24 + p.text.size();
+    return n;
+  }
+
+  void append_post(Post p) {
+    timeline.push_back(std::move(p));
+    while (timeline.size() > kTimelineCap) timeline.pop_front();
+  }
+};
+
+struct TimelineReply final : net::Message {
+  std::vector<Post> posts;
+  explicit TimelineReply(std::vector<Post> p) : posts(std::move(p)) {}
+  const char* type_name() const override { return "chirper.timeline"; }
+  std::size_t size_bytes() const override {
+    std::size_t n = 16;
+    for (const Post& p : posts) n += 24 + p.text.size();
+    return n;
+  }
+};
+
+struct StatusReply final : net::Message {
+  bool ok;
+  explicit StatusReply(bool o) : ok(o) {}
+  const char* type_name() const override { return "chirper.status"; }
+  std::size_t size_bytes() const override { return 9; }
+};
+
+class ChirperApp final : public smr::AppStateMachine {
+ public:
+  struct Costs {
+    Duration base = usec(8);
+    Duration per_write_var = usec(1);
+    Duration per_timeline_post = usec(0);
+  };
+
+  ChirperApp() : costs_(Costs{}) {}
+  explicit ChirperApp(Costs costs) : costs_(costs) {}
+
+  net::MessagePtr execute(const smr::Command& cmd, smr::ExecutionView& view) override;
+  std::unique_ptr<smr::VarValue> make_default(VarId v) override;
+  Duration service_time(const smr::Command& cmd) const override;
+
+ private:
+  Costs costs_;
+};
+
+inline smr::AppFactory chirper_app_factory(ChirperApp::Costs costs = ChirperApp::Costs{}) {
+  return [costs] { return std::make_unique<ChirperApp>(costs); };
+}
+
+// ---- command builders (the client-side application vocabulary) -------------
+
+/// post(u): the caller supplies u's follower list (clients track the part of
+/// the social graph they interact with; the workload driver plays that role).
+smr::Command make_post(VarId user, const std::vector<VarId>& followers, std::string text);
+smr::Command make_follow(VarId follower, VarId followee);
+smr::Command make_unfollow(VarId follower, VarId followee);
+smr::Command make_get_timeline(VarId user);
+
+}  // namespace dssmr::chirper

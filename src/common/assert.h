@@ -1,0 +1,33 @@
+// Lightweight always-on assertion macros.
+//
+// The simulator and the protocol layers rely on internal invariants that,
+// when violated, indicate a protocol bug rather than a user error. Such
+// violations abort immediately with a readable message: continuing after a
+// broken invariant would silently corrupt an experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dssmr::detail {
+
+[[noreturn]] inline void assert_fail(const char* cond, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "dssmr: assertion failed: %s\n  at %s:%d\n  %s\n", cond, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dssmr::detail
+
+#define DSSMR_ASSERT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) ::dssmr::detail::assert_fail(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define DSSMR_ASSERT_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) ::dssmr::detail::assert_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define DSSMR_FAIL(msg) ::dssmr::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

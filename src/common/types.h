@@ -1,0 +1,67 @@
+// Core identifier and time types shared by every layer.
+//
+// All quantities of virtual time are expressed in microseconds. Identifiers
+// are thin wrappers over integers: strong enough that a ProcessId cannot be
+// confused with a GroupId at compile time, cheap enough to copy everywhere.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace dssmr {
+
+/// Virtual time in microseconds since simulation start.
+using Time = std::int64_t;
+/// A span of virtual time in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+constexpr Duration usec(std::int64_t n) { return n; }
+constexpr Duration msec(std::int64_t n) { return n * 1000; }
+constexpr Duration sec(std::int64_t n) { return n * 1'000'000; }
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e3; }
+
+namespace detail {
+
+/// CRTP-free strong integer id. `Tag` makes distinct instantiations
+/// non-interconvertible; `Rep` is the underlying representation.
+template <class Tag, class Rep = std::uint32_t>
+struct StrongId {
+  Rep value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+/// Index of a process (replica, client, or oracle member) in a deployment.
+using ProcessId = detail::StrongId<struct ProcessTag>;
+/// Index of a multicast group (one per partition, plus one for the oracle).
+using GroupId = detail::StrongId<struct GroupTag>;
+/// Globally unique message id, allocated by the sending process.
+using MsgId = detail::StrongId<struct MsgTag, std::uint64_t>;
+/// Identifier of a state variable (e.g. a Chirper user).
+using VarId = detail::StrongId<struct VarTag, std::uint64_t>;
+
+inline constexpr ProcessId kNoProcess{std::numeric_limits<std::uint32_t>::max()};
+inline constexpr GroupId kNoGroup{std::numeric_limits<std::uint32_t>::max()};
+
+}  // namespace dssmr
+
+namespace std {
+
+template <class Tag, class Rep>
+struct hash<dssmr::detail::StrongId<Tag, Rep>> {
+  size_t operator()(dssmr::detail::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,385 @@
+#include "consensus/paxos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::consensus {
+namespace {
+
+std::size_t batch_bytes(const Batch& b) {
+  std::size_t n = 16;
+  for (const auto& e : b) n += 16 + (e.payload != nullptr ? e.payload->size_bytes() : 0);
+  return n;
+}
+
+}  // namespace
+
+std::size_t P1b::size_bytes() const {
+  std::size_t n = 64;
+  for (const auto& [slot, entry] : accepted) {
+    (void)slot;
+    n += batch_bytes(entry.second);
+  }
+  return n;
+}
+
+std::size_t P2a::size_bytes() const { return 64 + batch_bytes(batch); }
+std::size_t CommitMsg::size_bytes() const { return 64 + batch_bytes(batch); }
+
+PaxosCore::PaxosCore(sim::Engine& engine, GroupId gid, std::vector<ProcessId> members,
+                     ProcessId self, PaxosConfig config, Callbacks callbacks,
+                     std::uint64_t seed)
+    : engine_(engine),
+      gid_(gid),
+      members_(std::move(members)),
+      self_(self),
+      cfg_(config),
+      cb_(std::move(callbacks)),
+      rng_(seed) {
+  DSSMR_ASSERT_MSG(!members_.empty(), "group needs at least one member");
+  DSSMR_ASSERT(cb_.send != nullptr && cb_.on_decide != nullptr);
+  self_index_ = index_of(self_);
+}
+
+std::uint32_t PaxosCore::index_of(ProcessId p) const {
+  for (std::uint32_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == p) return i;
+  }
+  DSSMR_FAIL("process is not a member of this group");
+}
+
+void PaxosCore::start() {
+  if (self_index_ == 0) {
+    // Bootstrap: the first member stands for election right away.
+    engine_.schedule(usec(1), [this] {
+      if (!halted_ && role_ == Role::Follower && max_seen_ballot_ == 0) start_election();
+    });
+  }
+  arm_election_timer();
+}
+
+void PaxosCore::halt() {
+  halted_ = true;
+  engine_.cancel(election_timer_);
+  engine_.cancel(heartbeat_timer_);
+  engine_.cancel(resend_timer_);
+  engine_.cancel(batch_timer_);
+  election_timer_ = heartbeat_timer_ = resend_timer_ = batch_timer_ = 0;
+}
+
+ProcessId PaxosCore::leader_hint() const {
+  if (role_ == Role::Leader) return self_;
+  if (max_seen_ballot_ == 0) return members_[0];
+  return members_[ballot_owner_index(max_seen_ballot_) % members_.size()];
+}
+
+void PaxosCore::broadcast(const net::MessagePtr& m) {
+  for (ProcessId p : members_) {
+    if (p == self_) continue;
+    cb_.send(p, m);
+  }
+}
+
+// ---- timers ----------------------------------------------------------------
+
+void PaxosCore::arm_election_timer() {
+  if (halted_) return;
+  engine_.cancel(election_timer_);
+  const Duration t = cfg_.election_timeout + rng_.range(0, cfg_.election_timeout);
+  election_timer_ = engine_.schedule(t, [this] {
+    election_timer_ = 0;
+    if (halted_ || role_ == Role::Leader) return;
+    start_election();
+  });
+}
+
+void PaxosCore::arm_heartbeat_timer() {
+  if (halted_ || role_ != Role::Leader) return;
+  engine_.cancel(heartbeat_timer_);
+  heartbeat_timer_ = engine_.schedule(cfg_.heartbeat_interval, [this] {
+    heartbeat_timer_ = 0;
+    if (halted_ || role_ != Role::Leader) return;
+    broadcast(net::make_msg<HeartbeatMsg>(gid_, ballot_, next_deliver_ - 1));
+    arm_heartbeat_timer();
+  });
+}
+
+void PaxosCore::arm_resend_timer() {
+  if (halted_ || role_ != Role::Leader) return;
+  engine_.cancel(resend_timer_);
+  resend_timer_ = engine_.schedule(cfg_.resend_interval, [this] {
+    resend_timer_ = 0;
+    if (halted_ || role_ != Role::Leader) return;
+    for (const auto& [slot, prop] : proposals_) {
+      if (!prop.decided) broadcast(net::make_msg<P2a>(gid_, ballot_, slot, prop.batch));
+    }
+    arm_resend_timer();
+  });
+}
+
+void PaxosCore::arm_batch_timer() {
+  if (halted_ || batch_timer_ != 0) return;
+  batch_timer_ = engine_.schedule(cfg_.batch_delay, [this] {
+    batch_timer_ = 0;
+    if (!halted_ && role_ == Role::Leader) flush_pending();
+  });
+}
+
+// ---- election --------------------------------------------------------------
+
+void PaxosCore::start_election() {
+  role_ = Role::Candidate;
+  ballot_ = make_ballot(ballot_round(max_seen_ballot_) + 1, self_index_);
+  max_seen_ballot_ = ballot_;
+  p1b_granted_.clear();
+  p1b_accepted_.clear();
+
+  // Grant own promise.
+  if (ballot_ > promised_) promised_ = ballot_;
+  p1b_granted_.insert(self_index_);
+  for (const auto& [slot, acc] : accepted_) {
+    if (slot >= next_deliver_) p1b_accepted_[slot] = acc;
+  }
+  // Decided-but-not-everywhere slots are also "accepted" by us.
+  for (const auto& [slot, batch] : decided_) {
+    if (slot >= next_deliver_) p1b_accepted_[slot] = {promised_, batch};
+  }
+
+  broadcast(net::make_msg<P1a>(gid_, ballot_, next_deliver_ - 1));
+  arm_election_timer();  // retry with a higher round if this attempt stalls
+  if (p1b_granted_.size() >= majority()) become_leader();
+}
+
+void PaxosCore::become_leader() {
+  role_ = Role::Leader;
+  proposals_.clear();
+
+  Slot max_slot = next_deliver_ - 1;
+  for (const auto& [slot, acc] : p1b_accepted_) max_slot = std::max(max_slot, slot);
+  next_slot_ = std::max(next_slot_, max_slot + 1);
+
+  // Re-propose every potentially-chosen value; fill gaps with no-ops so the
+  // log stays contiguous.
+  for (Slot s = next_deliver_; s <= max_slot; ++s) {
+    auto it = p1b_accepted_.find(s);
+    propose(s, it != p1b_accepted_.end() ? it->second.second : Batch{});
+  }
+  p1b_accepted_.clear();
+
+  engine_.cancel(election_timer_);
+  election_timer_ = 0;
+  arm_heartbeat_timer();
+  arm_resend_timer();
+  if (cb_.on_leadership) cb_.on_leadership(true);
+  if (!pending_.empty()) flush_pending();
+}
+
+void PaxosCore::step_down(Ballot seen) {
+  max_seen_ballot_ = std::max(max_seen_ballot_, seen);
+  if (role_ == Role::Leader && cb_.on_leadership) cb_.on_leadership(false);
+  role_ = Role::Follower;
+  engine_.cancel(heartbeat_timer_);
+  engine_.cancel(resend_timer_);
+  heartbeat_timer_ = resend_timer_ = 0;
+  arm_election_timer();
+}
+
+// ---- submission ------------------------------------------------------------
+
+bool PaxosCore::submit(LogEntry entry) {
+  if (halted_ || role_ != Role::Leader) return false;
+  if (!submitted_ids_.insert(entry.id.value).second) return true;  // duplicate
+  pending_.push_back(std::move(entry));
+  if (pending_.size() >= cfg_.max_batch) {
+    flush_pending();
+  } else {
+    arm_batch_timer();
+  }
+  return true;
+}
+
+void PaxosCore::flush_pending() {
+  if (pending_.empty()) return;
+  propose(next_slot_++, std::exchange(pending_, {}));
+}
+
+void PaxosCore::propose(Slot slot, Batch batch) {
+  auto [it, inserted] = proposals_.try_emplace(slot);
+  if (!inserted && it->second.decided) return;
+  it->second.batch = std::move(batch);
+  it->second.acks.clear();
+  it->second.acks.insert(self_index_);
+
+  // Self-accept.
+  accepted_[slot] = {ballot_, it->second.batch};
+
+  broadcast(net::make_msg<P2a>(gid_, ballot_, slot, it->second.batch));
+  if (it->second.acks.size() >= majority()) {
+    Batch copy = it->second.batch;
+    decide(slot, std::move(copy), /*broadcast_commit=*/true);
+  }
+}
+
+// ---- message handling ------------------------------------------------------
+
+bool PaxosCore::handle(ProcessId from, const net::MessagePtr& m) {
+  if (halted_) return false;
+  if (const auto* p1a = net::msg_cast<P1a>(m); p1a != nullptr && p1a->gid == gid_) {
+    handle_p1a(from, *p1a);
+    return true;
+  }
+  if (const auto* p1b = net::msg_cast<P1b>(m); p1b != nullptr && p1b->gid == gid_) {
+    handle_p1b(from, *p1b);
+    return true;
+  }
+  if (const auto* p2a = net::msg_cast<P2a>(m); p2a != nullptr && p2a->gid == gid_) {
+    handle_p2a(from, *p2a);
+    return true;
+  }
+  if (const auto* p2b = net::msg_cast<P2b>(m); p2b != nullptr && p2b->gid == gid_) {
+    handle_p2b(from, *p2b);
+    return true;
+  }
+  if (const auto* c = net::msg_cast<CommitMsg>(m); c != nullptr && c->gid == gid_) {
+    handle_commit(*c);
+    return true;
+  }
+  if (const auto* hb = net::msg_cast<HeartbeatMsg>(m); hb != nullptr && hb->gid == gid_) {
+    handle_heartbeat(from, *hb);
+    return true;
+  }
+  if (const auto* lr = net::msg_cast<LearnReq>(m); lr != nullptr && lr->gid == gid_) {
+    handle_learnreq(from, *lr);
+    return true;
+  }
+  return false;
+}
+
+void PaxosCore::handle_p1a(ProcessId from, const P1a& m) {
+  if (m.ballot > promised_) {
+    promised_ = m.ballot;
+    if (m.ballot > max_seen_ballot_ || role_ != Role::Follower) step_down(m.ballot);
+    max_seen_ballot_ = std::max(max_seen_ballot_, m.ballot);
+
+    std::map<Slot, std::pair<Ballot, Batch>> acc;
+    for (const auto& [slot, entry] : accepted_) {
+      if (slot > m.committed) acc[slot] = entry;
+    }
+    for (const auto& [slot, batch] : decided_) {
+      if (slot > m.committed) acc[slot] = {promised_, batch};
+    }
+    cb_.send(from, net::make_msg<P1b>(gid_, m.ballot, true, next_deliver_ - 1, std::move(acc)));
+  } else {
+    cb_.send(from, net::make_msg<P1b>(gid_, m.ballot, false, next_deliver_ - 1,
+                                      std::map<Slot, std::pair<Ballot, Batch>>{}));
+  }
+  arm_election_timer();
+}
+
+void PaxosCore::handle_p1b(ProcessId from, const P1b& m) {
+  if (role_ != Role::Candidate || m.ballot != ballot_) return;
+  if (!m.granted) {
+    // Someone promised a higher ballot; back off and retry later.
+    step_down(std::max(max_seen_ballot_, m.ballot));
+    return;
+  }
+  p1b_granted_.insert(index_of(from));
+  for (const auto& [slot, entry] : m.accepted) {
+    auto it = p1b_accepted_.find(slot);
+    if (it == p1b_accepted_.end() || entry.first > it->second.first) {
+      p1b_accepted_[slot] = entry;
+    }
+  }
+  if (p1b_granted_.size() >= majority()) become_leader();
+}
+
+void PaxosCore::handle_p2a(ProcessId from, const P2a& m) {
+  max_seen_ballot_ = std::max(max_seen_ballot_, m.ballot);
+  if (m.ballot >= promised_) {
+    promised_ = m.ballot;
+    if (role_ != Role::Follower && ballot_ != m.ballot) step_down(m.ballot);
+    if (m.slot >= next_deliver_) accepted_[m.slot] = {m.ballot, m.batch};
+    cb_.send(from, net::make_msg<P2b>(gid_, m.ballot, m.slot, true));
+    arm_election_timer();
+  } else {
+    cb_.send(from, net::make_msg<P2b>(gid_, m.ballot, m.slot, false));
+  }
+}
+
+void PaxosCore::handle_p2b(ProcessId from, const P2b& m) {
+  if (role_ != Role::Leader || m.ballot != ballot_) return;
+  if (!m.accepted) {
+    step_down(std::max(max_seen_ballot_, m.ballot + 1));
+    return;
+  }
+  auto it = proposals_.find(m.slot);
+  if (it == proposals_.end() || it->second.decided) return;
+  it->second.acks.insert(index_of(from));
+  if (it->second.acks.size() >= majority()) {
+    Batch copy = it->second.batch;
+    decide(m.slot, std::move(copy), /*broadcast_commit=*/true);
+  }
+}
+
+void PaxosCore::handle_commit(const CommitMsg& m) {
+  decide(m.slot, m.batch, /*broadcast_commit=*/false);
+}
+
+void PaxosCore::handle_heartbeat(ProcessId from, const HeartbeatMsg& m) {
+  max_seen_ballot_ = std::max(max_seen_ballot_, m.ballot);
+  if (role_ == Role::Leader && m.ballot > ballot_) step_down(m.ballot);
+  if (role_ != Role::Leader) arm_election_timer();
+  maybe_request_catchup(m.committed, from);
+}
+
+void PaxosCore::handle_learnreq(ProcessId from, const LearnReq& m) {
+  for (Slot s = m.from; s < next_deliver_; ++s) {
+    auto it = decided_.find(s);
+    if (it != decided_.end()) cb_.send(from, net::make_msg<CommitMsg>(gid_, s, it->second));
+  }
+}
+
+void PaxosCore::maybe_request_catchup(Slot leader_committed, ProcessId from) {
+  if (leader_committed >= next_deliver_) {
+    cb_.send(from, net::make_msg<LearnReq>(gid_, next_deliver_));
+  }
+}
+
+// ---- learning --------------------------------------------------------------
+
+void PaxosCore::decide(Slot slot, Batch batch, bool broadcast_commit) {
+  if (slot < next_deliver_) return;  // already delivered
+  const bool fresh = !decided_.contains(slot);
+  if (fresh) decided_[slot] = std::move(batch);
+  if (auto it = proposals_.find(slot); it != proposals_.end()) it->second.decided = true;
+  if (broadcast_commit && fresh) {
+    broadcast(net::make_msg<CommitMsg>(gid_, slot, decided_[slot]));
+  }
+  advance_delivery();
+}
+
+void PaxosCore::advance_delivery() {
+  while (true) {
+    auto it = decided_.find(next_deliver_);
+    if (it == decided_.end()) break;
+    const Slot slot = next_deliver_;
+    ++next_deliver_;
+    cb_.on_decide(slot, it->second);
+  }
+  trim();
+}
+
+void PaxosCore::trim() {
+  if (next_deliver_ <= cfg_.retain_window) return;
+  const Slot low = next_deliver_ - cfg_.retain_window;
+  decided_.erase(decided_.begin(), decided_.lower_bound(low));
+  accepted_.erase(accepted_.begin(), accepted_.lower_bound(low));
+  while (!proposals_.empty() && proposals_.begin()->first < low &&
+         proposals_.begin()->second.decided) {
+    proposals_.erase(proposals_.begin());
+  }
+}
+
+}  // namespace dssmr::consensus

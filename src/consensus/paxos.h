@@ -1,0 +1,246 @@
+// Multi-Paxos replicated log, one instance per multicast group.
+//
+// This is the repository's substitute for the paper's URingPaxos deployment:
+// each partition (and the oracle) is a group of replicas that agree on a
+// totally ordered log of batches. The atomic-multicast layer consumes this
+// log; it never talks to Paxos internals directly.
+//
+// Design notes:
+//  * Leader-based. Ballot numbers encode (round, member-index); the member
+//    with the highest granted ballot leads, proposes batches into slots, and
+//    broadcasts commits. Followers monitor heartbeats and run an election
+//    (phase 1) after a randomized timeout.
+//  * Batching: submissions are buffered for up to `batch_delay` (or
+//    `max_batch` entries) and decided as one slot, which is both realistic
+//    (Ring Paxos batches aggressively) and essential for simulation speed.
+//  * Uniform agreement: a value is committed only after a majority accepted
+//    it, so any later leader's phase 1 re-discovers it.
+//  * The decided log is trimmed behind the delivery point except for a
+//    retransmission window used to answer catch-up requests.
+//
+// PaxosCore is deliberately not a net::Actor: the owning replica feeds it
+// messages and it emits messages through a callback, which keeps it unit
+// testable without a full deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "sim/engine.h"
+
+namespace dssmr::consensus {
+
+using Slot = std::uint64_t;
+/// Ballot = (round << 16) | owner-member-index. 0 means "none".
+using Ballot = std::uint64_t;
+
+constexpr Ballot make_ballot(std::uint64_t round, std::uint32_t owner_index) {
+  return (round << 16) | owner_index;
+}
+constexpr std::uint64_t ballot_round(Ballot b) { return b >> 16; }
+constexpr std::uint32_t ballot_owner_index(Ballot b) {
+  return static_cast<std::uint32_t>(b & 0xffff);
+}
+
+/// One submitted value. `id` is globally unique and used by upper layers to
+/// deduplicate entries that get re-proposed across leader changes.
+struct LogEntry {
+  MsgId id;
+  net::MessagePtr payload;
+};
+
+using Batch = std::vector<LogEntry>;
+
+struct PaxosConfig {
+  Duration heartbeat_interval = msec(20);
+  Duration election_timeout = msec(120);
+  Duration resend_interval = msec(40);
+  Duration batch_delay = usec(100);
+  std::size_t max_batch = 64;
+  /// Decided slots kept behind the delivery point for catch-up.
+  Slot retain_window = 4096;
+};
+
+// ---- wire messages ---------------------------------------------------------
+
+struct P1a final : net::Message {
+  GroupId gid;
+  Ballot ballot;
+  Slot committed;  // candidate's delivery point, bounds the P1b payload
+  P1a(GroupId g, Ballot b, Slot c) : gid(g), ballot(b), committed(c) {}
+  const char* type_name() const override { return "paxos.p1a"; }
+};
+
+struct P1b final : net::Message {
+  GroupId gid;
+  Ballot ballot;
+  bool granted;
+  Slot committed;
+  std::map<Slot, std::pair<Ballot, Batch>> accepted;
+  P1b(GroupId g, Ballot b, bool ok, Slot c, std::map<Slot, std::pair<Ballot, Batch>> acc)
+      : gid(g), ballot(b), granted(ok), committed(c), accepted(std::move(acc)) {}
+  const char* type_name() const override { return "paxos.p1b"; }
+  std::size_t size_bytes() const override;
+};
+
+struct P2a final : net::Message {
+  GroupId gid;
+  Ballot ballot;
+  Slot slot;
+  Batch batch;
+  P2a(GroupId g, Ballot b, Slot s, Batch bt) : gid(g), ballot(b), slot(s), batch(std::move(bt)) {}
+  const char* type_name() const override { return "paxos.p2a"; }
+  std::size_t size_bytes() const override;
+};
+
+struct P2b final : net::Message {
+  GroupId gid;
+  Ballot ballot;
+  Slot slot;
+  bool accepted;
+  P2b(GroupId g, Ballot b, Slot s, bool ok) : gid(g), ballot(b), slot(s), accepted(ok) {}
+  const char* type_name() const override { return "paxos.p2b"; }
+};
+
+struct CommitMsg final : net::Message {
+  GroupId gid;
+  Slot slot;
+  Batch batch;
+  CommitMsg(GroupId g, Slot s, Batch b) : gid(g), slot(s), batch(std::move(b)) {}
+  const char* type_name() const override { return "paxos.commit"; }
+  std::size_t size_bytes() const override;
+};
+
+struct HeartbeatMsg final : net::Message {
+  GroupId gid;
+  Ballot ballot;
+  Slot committed;
+  HeartbeatMsg(GroupId g, Ballot b, Slot c) : gid(g), ballot(b), committed(c) {}
+  const char* type_name() const override { return "paxos.heartbeat"; }
+};
+
+struct LearnReq final : net::Message {
+  GroupId gid;
+  Slot from;
+  LearnReq(GroupId g, Slot f) : gid(g), from(f) {}
+  const char* type_name() const override { return "paxos.learnreq"; }
+};
+
+// ---- core ------------------------------------------------------------------
+
+class PaxosCore {
+ public:
+  struct Callbacks {
+    /// Emits a protocol message to a peer (never called for self).
+    std::function<void(ProcessId to, net::MessagePtr)> send;
+    /// Delivers decided batches in strict slot order, exactly once.
+    std::function<void(Slot slot, const Batch& batch)> on_decide;
+    /// Optional: leadership gained/lost notification.
+    std::function<void(bool leading)> on_leadership;
+  };
+
+  PaxosCore(sim::Engine& engine, GroupId gid, std::vector<ProcessId> members, ProcessId self,
+            PaxosConfig config, Callbacks callbacks, std::uint64_t seed);
+
+  /// Arms initial timers. Member 0 immediately stands for election so quiet
+  /// groups get a leader without waiting for a timeout.
+  void start();
+
+  /// Submits an entry for ordering. Returns false when this replica is not
+  /// currently leading (callers should retry via another member).
+  bool submit(LogEntry entry);
+
+  /// Routes a consensus message. Returns false if `m` is not a Paxos message
+  /// for this group (so callers can try other handlers).
+  bool handle(ProcessId from, const net::MessagePtr& m);
+
+  bool is_leader() const { return role_ == Role::Leader; }
+  /// Best guess at the current leader (self while leading).
+  ProcessId leader_hint() const;
+  Slot delivered_upto() const { return next_deliver_ - 1; }
+  GroupId group() const { return gid_; }
+  const std::vector<ProcessId>& members() const { return members_; }
+
+  /// Stops all timers; the replica is considered crashed (tests use this to
+  /// silence a node without tearing down the object).
+  void halt();
+
+ private:
+  enum class Role { Follower, Candidate, Leader };
+
+  struct Proposal {
+    Batch batch;
+    std::unordered_set<std::uint32_t> acks;
+    bool decided = false;
+  };
+
+  std::size_t majority() const { return members_.size() / 2 + 1; }
+  std::uint32_t index_of(ProcessId p) const;
+
+  void broadcast(const net::MessagePtr& m);
+  void start_election();
+  void become_leader();
+  void step_down(Ballot seen);
+
+  void handle_p1a(ProcessId from, const P1a& m);
+  void handle_p1b(ProcessId from, const P1b& m);
+  void handle_p2a(ProcessId from, const P2a& m);
+  void handle_p2b(ProcessId from, const P2b& m);
+  void handle_commit(const CommitMsg& m);
+  void handle_heartbeat(ProcessId from, const HeartbeatMsg& m);
+  void handle_learnreq(ProcessId from, const LearnReq& m);
+
+  void propose(Slot slot, Batch batch);
+  void flush_pending();
+  void arm_batch_timer();
+  void decide(Slot slot, Batch batch, bool broadcast_commit);
+  void advance_delivery();
+  void trim();
+  void arm_election_timer();
+  void arm_heartbeat_timer();
+  void arm_resend_timer();
+  void maybe_request_catchup(Slot leader_committed, ProcessId from);
+
+  sim::Engine& engine_;
+  GroupId gid_;
+  std::vector<ProcessId> members_;
+  ProcessId self_;
+  std::uint32_t self_index_;
+  PaxosConfig cfg_;
+  Callbacks cb_;
+  Rng rng_;
+  bool halted_ = false;
+
+  // Acceptor state.
+  Ballot promised_ = 0;
+  std::map<Slot, std::pair<Ballot, Batch>> accepted_;
+
+  // Learner state.
+  std::map<Slot, Batch> decided_;
+  Slot next_deliver_ = 1;
+
+  // Proposer state.
+  Role role_ = Role::Follower;
+  Ballot ballot_ = 0;           // ballot of my current candidacy/leadership
+  Ballot max_seen_ballot_ = 0;  // highest ballot observed anywhere
+  std::unordered_set<std::uint32_t> p1b_granted_;
+  std::map<Slot, std::pair<Ballot, Batch>> p1b_accepted_;
+  Slot next_slot_ = 1;
+  std::map<Slot, Proposal> proposals_;
+  Batch pending_;
+  std::unordered_set<std::uint64_t> submitted_ids_;
+
+  sim::TimerId election_timer_ = 0;
+  sim::TimerId heartbeat_timer_ = 0;
+  sim::TimerId resend_timer_ = 0;
+  sim::TimerId batch_timer_ = 0;
+};
+
+}  // namespace dssmr::consensus

@@ -1,0 +1,298 @@
+#include "core/client_proxy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "core/oracle.h"
+
+namespace dssmr::core {
+
+using smr::Command;
+using smr::CommandMsg;
+using smr::CommandType;
+using smr::ConsultMsg;
+using smr::HintMsg;
+using smr::ProphecyMsg;
+using smr::ReplyCode;
+using smr::ReplyMsg;
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kStaticSsmr:
+      return "S-SMR";
+    case Strategy::kDssmr:
+      return "DS-SMR";
+    case Strategy::kDynaStar:
+      return "DynaStar";
+  }
+  return "?";
+}
+
+void ClientProxy::init_client(net::Network& network, const multicast::Directory& directory,
+                              ClientConfig config, stats::Metrics* metrics) {
+  init_client_node(network, directory);
+  cfg_ = std::move(config);
+  metrics_ = metrics;
+  DSSMR_ASSERT(!cfg_.partitions.empty());
+  if (cfg_.strategy == Strategy::kStaticSsmr) {
+    DSSMR_ASSERT_MSG(cfg_.static_map != nullptr, "S-SMR clients need a static map");
+  } else {
+    DSSMR_ASSERT_MSG(cfg_.oracle_group != kNoGroup, "dynamic strategies need an oracle");
+  }
+}
+
+void ClientProxy::bump(const std::string& name) {
+  if (metrics_ != nullptr) metrics_->inc(name);
+}
+
+std::optional<GroupId> ClientProxy::cached_location(VarId v) const {
+  auto it = cache_.find(v);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ClientProxy::issue(Command cmd, DoneFn done) {
+  DSSMR_ASSERT_MSG(phase_ == Phase::kIdle, "one outstanding command per client proxy");
+  cmd_ = std::move(cmd);
+  cmd_.id = fresh_id();
+  done_ = std::move(done);
+  retries_ = 0;
+  outstanding_consults_.clear();
+  issued_at_ = network().engine().now();
+  bump("client.ops");
+  start_attempt();
+}
+
+void ClientProxy::start_attempt() {
+  if (cfg_.strategy == Strategy::kStaticSsmr) {
+    // Static oracle: destinations are fixed and always correct.
+    std::vector<GroupId> dests;
+    for (VarId v : cmd_.vars()) {
+      const GroupId p = cfg_.static_map->locate(v);
+      if (std::find(dests.begin(), dests.end(), p) == dests.end()) dests.push_back(p);
+    }
+    DSSMR_ASSERT(!dests.empty());
+    if (dests.size() > 1) bump("client.multi_partition");
+    send_command(std::move(dests), Phase::kAwaitCommand);
+    return;
+  }
+
+  if (cfg_.use_cache && cmd_.type == CommandType::kAccess) {
+    // Cache fast path: all variables cached on the same partition.
+    GroupId p = kNoGroup;
+    bool usable = true;
+    for (VarId v : cmd_.vars()) {
+      auto it = cache_.find(v);
+      if (it == cache_.end() || (p != kNoGroup && it->second != p)) {
+        usable = false;
+        break;
+      }
+      p = it->second;
+    }
+    if (usable && p != kNoGroup) {
+      bump("client.cache_hits");
+      send_command({p}, Phase::kAwaitCommand);
+      return;
+    }
+  }
+  do_consult();
+}
+
+void ClientProxy::do_consult() {
+  bump("client.consults");
+  const MsgId id = fresh_id();
+  outstanding_consults_.insert(id.value);
+  phase_ = Phase::kConsult;
+  amcast_with_id(id, {cfg_.oracle_group}, net::make_msg<ConsultMsg>(id, cmd_));
+  // Consult retransmissions use entirely fresh ids: consults are read-only,
+  // so re-asking is harmless and dodges the multicast dedup.
+  resend_ = [this] { do_consult(); };
+  arm_timeout();
+}
+
+void ClientProxy::on_prophecy(const ProphecyMsg& p) {
+  if (phase_ != Phase::kConsult || !outstanding_consults_.contains(p.consult_id.value)) {
+    return;  // stale (a previous command's or an already-answered attempt's)
+  }
+  outstanding_consults_.clear();
+  network().engine().cancel(timeout_);
+  timeout_ = 0;
+
+  if (p.code == ReplyCode::kNok) {
+    finish(ReplyCode::kNok, nullptr);
+    return;
+  }
+
+  if (cmd_.type == CommandType::kCreate) {
+    send_command({p.dest, cfg_.oracle_group}, Phase::kAwaitCommand);
+    return;
+  }
+  if (cmd_.type == CommandType::kDelete) {
+    DSSMR_ASSERT(!p.locations.empty());
+    send_command({p.locations[0].second, cfg_.oracle_group}, Phase::kAwaitCommand);
+    return;
+  }
+
+  // Access: refresh cache, then route.
+  std::vector<GroupId> dests;
+  for (const auto& [v, loc] : p.locations) {
+    cache_[v] = loc;
+    if (std::find(dests.begin(), dests.end(), loc) == dests.end()) dests.push_back(loc);
+  }
+  DSSMR_ASSERT(!dests.empty());
+
+  if (dests.size() == 1) {
+    send_command({dests[0]}, Phase::kAwaitCommand);
+    return;
+  }
+
+  bump("client.multi_partition");
+  pending_dest_ = p.dest;
+  if (p.oracle_moved) {
+    // DynaStar: the oracle already multicast the move; wait for the
+    // destination's confirmation, which carries the derived move id.
+    awaited_reply_ = derive_move_id(p.consult_id);
+    phase_ = Phase::kAwaitMove;
+    resend_ = [this] { do_consult(); };  // lost move? re-consult from scratch
+    arm_timeout();
+    return;
+  }
+
+  std::vector<GroupId> sources;
+  for (GroupId g : dests) {
+    if (g != p.dest) sources.push_back(g);
+  }
+  send_dssmr_move(p.dest, sources);
+}
+
+void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sources) {
+  bump("client.moves");
+  if (metrics_ != nullptr) metrics_->series("moves_ts").add(network().engine().now());
+
+  Command move;
+  move.type = CommandType::kMove;
+  move.id = fresh_id();
+  move.write_set = cmd_.vars();
+  move.move_sources = sources;
+  move.move_dest = dest;
+
+  std::vector<GroupId> dests = sources;
+  dests.push_back(dest);
+  dests.push_back(cfg_.oracle_group);
+
+  awaited_reply_ = move.id;
+  phase_ = Phase::kAwaitMove;
+  auto payload = net::make_msg<CommandMsg>(std::move(move));
+  amcast_with_id(fresh_id(), dests, payload);
+  resend_ = [this, dests, payload] {
+    // Same logical move (same cmd id inside), fresh multicast id.
+    amcast_with_id(fresh_id(), dests, payload);
+    arm_timeout();
+  };
+  arm_timeout();
+}
+
+void ClientProxy::send_command(std::vector<GroupId> dests, Phase next_phase) {
+  awaited_reply_ = cmd_.id;
+  phase_ = next_phase;
+  auto payload = net::make_msg<CommandMsg>(cmd_);
+  amcast_with_id(fresh_id(), dests, payload);
+  resend_ = [this, dests, payload] {
+    amcast_with_id(fresh_id(), dests, payload);
+    arm_timeout();
+  };
+  arm_timeout();
+}
+
+void ClientProxy::do_fallback() {
+  // Termination guarantee: execute as an S-SMR multi-partition command on
+  // every partition — no locality check can fail there.
+  bump("client.fallbacks");
+  DSSMR_ASSERT(cmd_.type == CommandType::kAccess);
+  send_command(cfg_.partitions, Phase::kAwaitFallback);
+}
+
+void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
+  (void)from;
+  if (const auto* p = net::msg_cast<ProphecyMsg>(m)) {
+    on_prophecy(*p);
+    return;
+  }
+  const auto* r = net::msg_cast<ReplyMsg>(m);
+  if (r == nullptr) return;
+  if (phase_ == Phase::kIdle || r->cmd_id != awaited_reply_) return;  // stale/duplicate
+
+  switch (phase_) {
+    case Phase::kAwaitMove:
+      if (r->code == ReplyCode::kOk) {
+        network().engine().cancel(timeout_);
+        timeout_ = 0;
+        for (VarId v : cmd_.vars()) cache_[v] = pending_dest_;
+        send_command({pending_dest_}, Phase::kAwaitCommand);
+      }
+      break;
+
+    case Phase::kAwaitCommand:
+      if (r->code == ReplyCode::kRetry) {
+        network().engine().cancel(timeout_);
+        timeout_ = 0;
+        bump("client.retries");
+        for (VarId v : cmd_.vars()) cache_.erase(v);
+        ++retries_;
+        if (retries_ > cfg_.max_retries) {
+          do_fallback();
+        } else {
+          do_consult();
+        }
+      } else {
+        finish(r->code, r->app_reply);
+      }
+      break;
+
+    case Phase::kAwaitFallback:
+      if (r->code != ReplyCode::kRetry) finish(r->code, r->app_reply);
+      break;
+
+    case Phase::kIdle:
+    case Phase::kConsult:
+      break;
+  }
+}
+
+void ClientProxy::finish(ReplyCode code, const net::MessagePtr& app_reply) {
+  network().engine().cancel(timeout_);
+  timeout_ = 0;
+  phase_ = Phase::kIdle;
+  resend_ = nullptr;
+
+  const Time now = network().engine().now();
+  if (metrics_ != nullptr) {
+    metrics_->inc(code == ReplyCode::kOk ? "client.ok" : "client.nok");
+    metrics_->histogram("client.latency_us").record(now - issued_at_);
+    metrics_->series("client.completions").add(now);
+  }
+
+  if (cfg_.send_hints && code == ReplyCode::kOk && !cmd_.hint_edges.empty()) {
+    amcast({cfg_.oracle_group}, net::make_msg<HintMsg>(cmd_.hint_edges));
+    bump("client.hints");
+  }
+
+  // Reset before invoking the callback: the application typically issues the
+  // next command from inside it (closed loop).
+  DoneFn done = std::move(done_);
+  done_ = nullptr;
+  if (done) done(code, app_reply);
+}
+
+void ClientProxy::arm_timeout() {
+  network().engine().cancel(timeout_);
+  timeout_ = network().engine().schedule(cfg_.op_timeout, [this] {
+    timeout_ = 0;
+    if (phase_ == Phase::kIdle || !resend_) return;
+    bump("client.timeouts");
+    resend_();
+  });
+}
+
+}  // namespace dssmr::core

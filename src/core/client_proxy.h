@@ -1,0 +1,123 @@
+// Client proxy (Algorithm "DS-SMR Client Proxy" of the paper).
+//
+// The application calls issue(cmd, done) and eventually receives a reply; the
+// proxy hides the whole partitioning machinery:
+//
+//   1. Optionally answer the destination question from the location cache
+//      (Section "Performance optimizations"); otherwise consult the oracle.
+//   2. If the prophecy spans several partitions, collocate first: in DS-SMR
+//      mode the proxy multicasts a move command to {oracle} ∪ sources ∪
+//      {destination}; in DynaStar mode the oracle has already issued the move
+//      and the proxy waits for the destination partition's confirmation.
+//   3. Multicast the command to the single destination partition.
+//   4. A `retry` answer means the mapping changed under us: invalidate the
+//      cache and go back to 1. After `max_retries` attempts, fall back to
+//      S-SMR — multicast to every partition — which always terminates.
+//
+// The same proxy also implements the S-SMR baseline (`kStaticSsmr`): the
+// oracle is a local immutable map and commands go straight to the statically
+// assigned partitions (multi-partition commands use the S-SMR execution).
+//
+// Every network interaction is guarded by a timeout that re-sends with a
+// fresh multicast id; logical command ids stay stable so servers answer
+// retransmissions from their reply caches (end-to-end exactly-once).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/mapping.h"
+#include "multicast/client.h"
+#include "smr/command.h"
+#include "stats/metrics.h"
+
+namespace dssmr::core {
+
+enum class Strategy : std::uint8_t {
+  kStaticSsmr,  // S-SMR: static map, no oracle service, no moves
+  kDssmr,       // DS-SMR: dynamic oracle, client-issued moves
+  kDynaStar,    // extension: oracle-issued moves + workload-graph policy
+};
+
+const char* to_string(Strategy s);
+
+struct ClientConfig {
+  Strategy strategy = Strategy::kDssmr;
+  bool use_cache = true;
+  int max_retries = 3;
+  Duration op_timeout = msec(250);
+  GroupId oracle_group = kNoGroup;
+  std::vector<GroupId> partitions;
+  /// Required for kStaticSsmr.
+  std::shared_ptr<const StaticMap> static_map;
+  /// Send workload-graph hints to the oracle after commands that carry them.
+  bool send_hints = false;
+};
+
+class ClientProxy : public multicast::ClientNode {
+ public:
+  using DoneFn = std::function<void(smr::ReplyCode, const net::MessagePtr& app_reply)>;
+
+  void init_client(net::Network& network, const multicast::Directory& directory,
+                   ClientConfig config, stats::Metrics* metrics);
+
+  /// Issues one command; `done` fires exactly once. One outstanding command
+  /// per proxy (clients are closed-loop, as in the paper's evaluation).
+  void issue(smr::Command cmd, DoneFn done);
+
+  bool busy() const { return phase_ != Phase::kIdle; }
+
+  /// Location-cache introspection (tests).
+  std::optional<GroupId> cached_location(VarId v) const;
+  const ClientConfig& config() const { return cfg_; }
+
+ protected:
+  void on_reply(ProcessId from, const net::MessagePtr& m) override;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kConsult,
+    kAwaitMove,
+    kAwaitCommand,
+    kAwaitFallback,
+  };
+
+  void start_attempt();
+  void do_consult();
+  void on_prophecy(const smr::ProphecyMsg& p);
+  void send_dssmr_move(GroupId dest, const std::vector<GroupId>& sources);
+  void send_command(std::vector<GroupId> dests, Phase next_phase);
+  void do_fallback();
+  void finish(smr::ReplyCode code, const net::MessagePtr& app_reply);
+  void arm_timeout();
+  void bump(const std::string& name);
+
+  ClientConfig cfg_;
+  stats::Metrics* metrics_ = nullptr;
+
+  Phase phase_ = Phase::kIdle;
+  smr::Command cmd_;
+  DoneFn done_;
+  int retries_ = 0;
+  Time issued_at_ = 0;
+  /// All consult ids issued for the current attempt: retransmissions use
+  /// fresh ids (see do_consult), and with timeouts shorter than the round
+  /// trip the answer to an *older* consult may arrive first — it is equally
+  /// valid, so any of them is accepted.
+  std::unordered_set<std::uint64_t> outstanding_consults_;
+  MsgId awaited_reply_{0};
+  GroupId pending_dest_ = kNoGroup;
+  std::function<void()> resend_;
+  sim::TimerId timeout_ = 0;
+
+  std::unordered_map<VarId, GroupId> cache_;
+};
+
+}  // namespace dssmr::core

@@ -1,0 +1,191 @@
+// The oracle's variable->partition mapping and the pluggable placement
+// policy (the paper's OracleStateMachine extension point).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace dssmr::core {
+
+/// Dynamic variable->partition mapping, replicated inside the oracle group.
+/// All mutations happen while processing atomically delivered commands, so
+/// every oracle replica holds an identical mapping.
+class Mapping {
+ public:
+  explicit Mapping(std::vector<GroupId> partitions) : partitions_(std::move(partitions)) {
+    DSSMR_ASSERT(!partitions_.empty());
+    counts_.resize(partitions_.size(), 0);
+  }
+
+  bool contains(VarId v) const { return map_.contains(v); }
+
+  /// Partition of `v`; kNoGroup when unmapped.
+  GroupId locate(VarId v) const {
+    auto it = map_.find(v);
+    return it == map_.end() ? kNoGroup : it->second;
+  }
+
+  void place(VarId v, GroupId p) {
+    auto it = map_.find(v);
+    if (it != map_.end()) {
+      counts_[index_of(it->second)]--;
+      it->second = p;
+    } else {
+      map_.emplace(v, p);
+    }
+    counts_[index_of(p)]++;
+  }
+
+  void erase(VarId v) {
+    auto it = map_.find(v);
+    if (it == map_.end()) return;
+    counts_[index_of(it->second)]--;
+    map_.erase(it);
+  }
+
+  std::size_t var_count() const { return map_.size(); }
+  const std::unordered_map<VarId, GroupId>& entries() const { return map_; }
+  std::size_t partition_count() const { return partitions_.size(); }
+  const std::vector<GroupId>& partitions() const { return partitions_; }
+
+  /// Number of variables currently mapped to `p`.
+  std::uint64_t load(GroupId p) const { return counts_[index_of(p)]; }
+
+  /// Partition with the fewest variables (ties -> lowest id).
+  GroupId least_loaded() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < partitions_.size(); ++i) {
+      if (counts_[i] < counts_[best]) best = i;
+    }
+    return partitions_[best];
+  }
+
+ private:
+  std::size_t index_of(GroupId p) const {
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      if (partitions_[i] == p) return i;
+    }
+    DSSMR_FAIL("partition not in mapping");
+  }
+
+  std::vector<GroupId> partitions_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<VarId, GroupId> map_;
+};
+
+/// Placement decisions. Implementations MUST be deterministic functions of
+/// the delivered command sequence: every oracle replica runs the same policy
+/// instance over the same inputs and must reach the same answers.
+class OraclePolicy {
+ public:
+  virtual ~OraclePolicy() = default;
+
+  /// Partition for a newly created variable.
+  virtual GroupId place_new(VarId v, const Mapping& map) = 0;
+
+  /// Destination partition when `vars` (spread over several partitions) must
+  /// be collocated for a command.
+  virtual GroupId choose_destination(const std::vector<VarId>& vars, const Mapping& map) = 0;
+
+  /// Workload-graph hint (edges between co-accessed variables). Default: ignore.
+  virtual void on_hint(const std::vector<std::pair<VarId, VarId>>& edges) { (void)edges; }
+
+  /// Variables created/deleted — keeps a workload graph's vertex set in sync.
+  virtual void on_create(VarId v) { (void)v; }
+  virtual void on_delete(VarId v) { (void)v; }
+
+  /// Number of repartitionings computed so far (DynaStar-style policies).
+  virtual std::uint64_t repartition_count() const { return 0; }
+};
+
+/// The DS-SMR (DSN 2016) policy: no global workload knowledge. New variables
+/// go to the least-loaded partition (keeps load balanced).
+///
+/// The paper's client algorithm only says "let P_d be one of the partitions
+/// in C.dests" — the destination rule is a free design choice, so it is
+/// configurable here (and the ablation bench compares the rules):
+///  * kMostHeld (default): the involved partition already holding the most
+///    of the command's variables (fewest moves now, directional merging ->
+///    fast convergence). Ties — pervasive right after a scattered initial
+///    placement — break pseudo-randomly from the variable set, NOT by lowest
+///    partition id: a fixed tie-break funnels every near-tied neighbourhood
+///    to the same partition and collapses the whole state onto it.
+///  * kRandomInvolved: a pseudo-random involved partition (fully symmetric,
+///    slowest convergence).
+///  * kLeastLoaded: the involved partition with the fewest variables
+///    (strongest balancing, most moves).
+class DssmrPolicy : public OraclePolicy {
+ public:
+  enum class DestRule : std::uint8_t { kMostHeld, kRandomInvolved, kLeastLoaded };
+
+  DssmrPolicy() = default;
+  explicit DssmrPolicy(DestRule rule) : rule_(rule) {}
+
+  GroupId place_new(VarId v, const Mapping& map) override {
+    (void)v;
+    return map.least_loaded();
+  }
+
+  GroupId choose_destination(const std::vector<VarId>& vars, const Mapping& map) override {
+    // Involved partitions, in partition-id order (deterministic).
+    std::unordered_map<std::uint32_t, std::size_t> held;
+    for (VarId v : vars) {
+      const GroupId p = map.locate(v);
+      if (p != kNoGroup) held[p.value]++;
+    }
+    DSSMR_ASSERT_MSG(!held.empty(), "choose_destination with fully unmapped vars");
+    std::vector<GroupId> involved;
+    for (GroupId p : map.partitions()) {
+      if (held.contains(p.value)) involved.push_back(p);
+    }
+
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (VarId v : vars) h = (h ^ v.value) * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 31;
+
+    switch (rule_) {
+      case DestRule::kRandomInvolved:
+        return involved[h % involved.size()];
+      case DestRule::kMostHeld: {
+        std::size_t most = 0;
+        for (GroupId p : involved) most = std::max(most, held[p.value]);
+        std::vector<GroupId> tied;
+        for (GroupId p : involved) {
+          if (held[p.value] == most) tied.push_back(p);
+        }
+        return tied[h % tied.size()];
+      }
+      case DestRule::kLeastLoaded: {
+        GroupId best = involved[0];
+        for (GroupId p : involved) {
+          if (map.load(p) < map.load(best)) best = p;
+        }
+        return best;
+      }
+    }
+    return involved[0];
+  }
+
+ private:
+  DestRule rule_ = DestRule::kMostHeld;
+};
+
+/// Static map used by the S-SMR baseline: computed once at deployment time
+/// (hash placement or an optimized graph partitioning) and shared read-only
+/// by every client.
+struct StaticMap {
+  std::unordered_map<VarId, GroupId> location;
+  std::vector<GroupId> partitions;
+
+  GroupId locate(VarId v) const {
+    auto it = location.find(v);
+    DSSMR_ASSERT_MSG(it != location.end(), "S-SMR static map is missing a variable");
+    return it->second;
+  }
+};
+
+}  // namespace dssmr::core

@@ -1,0 +1,273 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::core {
+
+using smr::Command;
+using smr::CommandMsg;
+using smr::CommandType;
+using smr::ConsultMsg;
+using smr::HintMsg;
+using smr::ProphecyMsg;
+using smr::ReplyCode;
+using smr::ReplyMsg;
+using smr::SignalMsg;
+
+MsgId derive_move_id(MsgId consult_id) {
+  std::uint64_t x = consult_id.value ^ 0x6d6f76652d69645fULL;  // "move-id_"
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return MsgId{x ^ (x >> 27)};
+}
+
+void OracleNode::init_oracle(net::Network& network, const multicast::Directory& directory,
+                             GroupId gid, multicast::GroupNodeConfig node_config,
+                             std::unique_ptr<OraclePolicy> policy,
+                             std::vector<GroupId> partitions, OracleConfig config,
+                             stats::Metrics* metrics, std::uint64_t seed) {
+  init_group_node(network, directory, gid, node_config, seed);
+  mapping_ = std::make_unique<Mapping>(partitions);
+  policy_ = std::move(policy);
+  DSSMR_ASSERT(policy_ != nullptr);
+  exec_ = std::make_unique<smr::ExecutionEngine>(network.engine());
+  partitions_ = std::move(partitions);
+  config_ = config;
+  metrics_ = metrics;
+}
+
+void OracleNode::preload(VarId v, GroupId p) {
+  mapping_->place(v, p);
+  policy_->on_create(v);
+}
+
+void OracleNode::bump(const std::string& name) {
+  // Leader-gated so deployment-wide counters are per-event, not per-replica.
+  if (metrics_ != nullptr && is_leader()) metrics_->inc(name);
+}
+
+void OracleNode::account(Duration service) {
+  // One series per deployment: only the leader accounts, so the series
+  // reflects one oracle replica's CPU, matching the paper's measurement.
+  if (metrics_ != nullptr && is_leader()) {
+    metrics_->series("oracle.busy_us").add(engine().now(), static_cast<double>(service));
+  }
+}
+
+void OracleNode::queue_reply_task(Duration service, std::function<void()> run) {
+  account(service);
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = MsgId{0},
+      .on_head = nullptr,
+      .ready = nullptr,
+      .service = service,
+      .run = std::move(run),
+  });
+}
+
+void OracleNode::on_amdeliver(const multicast::AmcastMessage& m) {
+  if (const auto* consult = net::msg_cast<ConsultMsg>(m.payload)) {
+    handle_consult(m, *consult);
+    return;
+  }
+  if (const auto* hint = net::msg_cast<HintMsg>(m.payload)) {
+    handle_hint(*hint);
+    return;
+  }
+  const auto* cm = net::msg_cast<CommandMsg>(m.payload);
+  DSSMR_ASSERT_MSG(cm != nullptr, "oracle received an unknown payload");
+  const Command& cmd = cm->cmd;
+  switch (cmd.type) {
+    case CommandType::kCreate:
+      handle_create(m, cmd);
+      break;
+    case CommandType::kDelete:
+      handle_delete(m, cmd);
+      break;
+    case CommandType::kMove:
+      handle_move(cmd);
+      break;
+    case CommandType::kAccess:
+      // Fall-back S-SMR executions do not involve the oracle; nothing to do.
+      break;
+  }
+}
+
+void OracleNode::handle_consult(const multicast::AmcastMessage& m, const ConsultMsg& consult) {
+  bump("oracle.consults");
+  const Command& cmd = consult.cmd;
+  const ProcessId client = m.sender;
+  auto prophecy = std::make_shared<ProphecyMsg>(consult.consult_id, ReplyCode::kOk);
+
+  if (cmd.type == CommandType::kCreate) {
+    const VarId v = cmd.write_set.at(0);
+    if (mapping_->contains(v)) {
+      prophecy->code = ReplyCode::kNok;
+    } else {
+      prophecy->dest = policy_->place_new(v, *mapping_);
+      prophecy->locations.emplace_back(v, prophecy->dest);
+    }
+  } else {
+    // access or delete: every variable must exist.
+    bool missing = false;
+    std::vector<GroupId> dests;
+    for (VarId v : cmd.vars()) {
+      const GroupId p = mapping_->locate(v);
+      if (p == kNoGroup) {
+        missing = true;
+        break;
+      }
+      prophecy->locations.emplace_back(v, p);
+      if (std::find(dests.begin(), dests.end(), p) == dests.end()) dests.push_back(p);
+    }
+    if (missing) {
+      prophecy->code = ReplyCode::kNok;
+      prophecy->locations.clear();
+    } else if (cmd.type == CommandType::kAccess && dests.size() > 1) {
+      prophecy->dest = policy_->choose_destination(cmd.vars(), *mapping_);
+      if (config_.oracle_issues_moves && is_leader()) {
+        // DynaStar mode: the oracle collocates the variables itself. The move
+        // id is derived from the consult id so the client can await the
+        // destination partition's confirmation.
+        Command move;
+        move.type = CommandType::kMove;
+        move.id = derive_move_id(consult.consult_id);
+        move.requester = client;
+        move.write_set = cmd.vars();
+        move.move_sources = dests;
+        move.move_dest = prophecy->dest;
+        std::vector<GroupId> move_dests = dests;
+        move_dests.push_back(prophecy->dest);
+        move_dests.push_back(group());
+        amcast(std::move(move_dests), net::make_msg<CommandMsg>(std::move(move)));
+        bump("oracle.moves_issued");
+        if (metrics_ != nullptr) metrics_->series("moves_ts").add(engine().now());
+      }
+      prophecy->oracle_moved = config_.oracle_issues_moves;
+    } else if (cmd.type == CommandType::kAccess && dests.size() == 1) {
+      prophecy->dest = dests[0];
+    }
+  }
+
+  queue_reply_task(config_.consult_service, [this, client, prophecy] {
+    if (is_leader()) send_direct(client, prophecy);
+  });
+}
+
+void OracleNode::handle_create(const multicast::AmcastMessage& m, const Command& cmd) {
+  const VarId v = cmd.write_set.at(0);
+  const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+
+  if (const CachedReply* cached = completed_.find(cmd.id)) {
+    if (is_leader()) {
+      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group()));
+    }
+    return;
+  }
+
+  GroupId target = kNoGroup;
+  for (GroupId g : m.dests) {
+    if (g != group()) target = g;
+  }
+  ReplyCode outcome = ReplyCode::kOk;
+  if (mapping_->contains(v) || target == kNoGroup) {
+    outcome = ReplyCode::kNok;
+  } else {
+    mapping_->place(v, target);
+    policy_->on_create(v);
+    bump("oracle.creates");
+  }
+
+  account(config_.command_service);
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head = nullptr,
+      // Reply only after the partition signalled that it applied the create.
+      .ready = outcome == ReplyCode::kOk
+                   ? std::function<bool()>([this, id = cmd.id, target] {
+                       return signals_[id].contains(target);
+                     })
+                   : nullptr,
+      .service = config_.command_service,
+      .run =
+          [this, id = cmd.id, client, outcome] {
+            signals_.erase(id);
+            completed_.put(id, CachedReply{outcome});
+            if (is_leader()) {
+              send_direct(client, net::make_msg<ReplyMsg>(id, outcome, group()));
+            }
+          },
+  });
+}
+
+void OracleNode::handle_delete(const multicast::AmcastMessage& m, const Command& cmd) {
+  const VarId v = cmd.write_set.at(0);
+  const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+
+  if (const CachedReply* cached = completed_.find(cmd.id)) {
+    if (is_leader()) {
+      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group()));
+    }
+    return;
+  }
+
+  GroupId target = kNoGroup;
+  for (GroupId g : m.dests) {
+    if (g != group()) target = g;
+  }
+  mapping_->erase(v);
+  policy_->on_delete(v);
+  bump("oracle.deletes");
+
+  account(config_.command_service);
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head = nullptr,
+      .ready = target != kNoGroup ? std::function<bool()>([this, id = cmd.id, target] {
+                                      return signals_[id].contains(target);
+                                    })
+                                  : nullptr,
+      .service = config_.command_service,
+      .run =
+          [this, id = cmd.id, client] {
+            signals_.erase(id);
+            completed_.put(id, CachedReply{ReplyCode::kOk});
+            if (is_leader()) {
+              send_direct(client, net::make_msg<ReplyMsg>(id, ReplyCode::kOk, group()));
+            }
+          },
+  });
+}
+
+void OracleNode::handle_move(const Command& cmd) {
+  // Apply only moves whose recorded source matches — a stale move (the
+  // variable moved elsewhere since the prophecy) must not corrupt the map.
+  for (VarId v : cmd.vars()) {
+    const GroupId cur = mapping_->locate(v);
+    if (cur == kNoGroup) continue;
+    if (std::find(cmd.move_sources.begin(), cmd.move_sources.end(), cur) !=
+        cmd.move_sources.end()) {
+      mapping_->place(v, cmd.move_dest);
+    }
+  }
+  bump("oracle.moves_applied");
+  queue_reply_task(config_.command_service, [] {});
+}
+
+void OracleNode::handle_hint(const HintMsg& hint) {
+  policy_->on_hint(hint.edges);
+  bump("oracle.hints");
+  queue_reply_task(config_.command_service, [] {});
+}
+
+void OracleNode::on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) {
+  (void)origin;
+  if (const auto* sig = net::msg_cast<SignalMsg>(payload)) {
+    signals_[sig->cmd_id].insert(sig->from_group);
+    exec_->notify();
+  }
+}
+
+}  // namespace dssmr::core

@@ -1,0 +1,89 @@
+// The replicated partitioning oracle (Algorithm "Oracle" of the paper).
+//
+// The oracle is deployed as its own multicast group. It answers `consult`
+// requests with prophecies, tracks the dynamic variable->partition mapping
+// by delivering every create/delete/move command, and coordinates with
+// partitions on create/delete via signal exchange so that its reply to the
+// client implies the partition has applied the change (execution atomicity).
+//
+// Placement decisions are delegated to an OraclePolicy: the DS-SMR policy
+// needs no workload knowledge; the DynaStar-style policy (an extension, see
+// DESIGN.md) maintains a workload graph and a graph-partitioner-computed
+// ideal partitioning, and — when `oracle_issues_moves` is set — the oracle
+// leader multicasts the move itself instead of leaving it to the client.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded.h"
+#include "common/types.h"
+#include "core/mapping.h"
+#include "multicast/atomic.h"
+#include "smr/command.h"
+#include "smr/execution.h"
+#include "stats/metrics.h"
+
+namespace dssmr::core {
+
+struct OracleConfig {
+  /// DynaStar mode: the oracle issues collocation moves itself.
+  bool oracle_issues_moves = false;
+  /// Simulated CPU cost of answering one consult.
+  Duration consult_service = usec(5);
+  /// Simulated CPU cost of applying one command / hint batch.
+  Duration command_service = usec(3);
+};
+
+/// Deterministic move-command id derived from the consult id, so the client
+/// knows which reply to wait for when the oracle issues the move.
+MsgId derive_move_id(MsgId consult_id);
+
+class OracleNode : public multicast::GroupNode {
+ public:
+  void init_oracle(net::Network& network, const multicast::Directory& directory, GroupId gid,
+                   multicast::GroupNodeConfig node_config,
+                   std::unique_ptr<OraclePolicy> policy, std::vector<GroupId> partitions,
+                   OracleConfig config, stats::Metrics* metrics, std::uint64_t seed);
+
+  /// Pre-registers a variable's location (initial state distribution).
+  void preload(VarId v, GroupId p);
+
+  const Mapping& mapping() const { return *mapping_; }
+  OraclePolicy& policy() { return *policy_; }
+  Duration busy_time() const { return exec_->busy_time(); }
+
+ protected:
+  void on_amdeliver(const multicast::AmcastMessage& m) override;
+  void on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) override;
+
+ private:
+  struct CachedReply {
+    smr::ReplyCode code;
+  };
+
+  void handle_consult(const multicast::AmcastMessage& m, const smr::ConsultMsg& consult);
+  void handle_create(const multicast::AmcastMessage& m, const smr::Command& cmd);
+  void handle_delete(const multicast::AmcastMessage& m, const smr::Command& cmd);
+  void handle_move(const smr::Command& cmd);
+  void handle_hint(const smr::HintMsg& hint);
+
+  void queue_reply_task(Duration service, std::function<void()> run);
+  void bump(const std::string& name);
+  void account(Duration service);
+
+  std::unique_ptr<Mapping> mapping_;
+  std::unique_ptr<OraclePolicy> policy_;
+  std::unique_ptr<smr::ExecutionEngine> exec_;
+  std::vector<GroupId> partitions_;
+  OracleConfig config_;
+  stats::Metrics* metrics_ = nullptr;
+  /// Signals received from partitions, per command.
+  std::unordered_map<MsgId, std::set<GroupId>> signals_;
+  BoundedMap<MsgId, CachedReply> completed_{1 << 15};
+};
+
+}  // namespace dssmr::core

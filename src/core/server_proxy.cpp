@@ -1,0 +1,358 @@
+#include "core/server_proxy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::core {
+
+using smr::Command;
+using smr::CommandMsg;
+using smr::CommandType;
+using smr::ReplyCode;
+using smr::ReplyMsg;
+using smr::SignalMsg;
+using smr::VarShipMsg;
+
+void PartitionServer::init_partition(net::Network& network,
+                                     const multicast::Directory& directory, GroupId gid,
+                                     multicast::GroupNodeConfig node_config,
+                                     const smr::AppFactory& app_factory,
+                                     PartitionServerConfig config, stats::Metrics* metrics,
+                                     std::uint64_t seed) {
+  init_group_node(network, directory, gid, node_config, seed);
+  app_ = app_factory();
+  DSSMR_ASSERT(app_ != nullptr);
+  exec_ = std::make_unique<smr::ExecutionEngine>(network.engine());
+  config_ = config;
+  metrics_ = metrics;
+}
+
+void PartitionServer::preload(VarId v, std::unique_ptr<smr::VarValue> value) {
+  owned_.insert(v);
+  store_.put(v, std::move(value));
+}
+
+void PartitionServer::bump(const std::string& name) {
+  // Leader-gated so deployment-wide counters are per-event, not per-replica.
+  if (metrics_ != nullptr && is_leader()) metrics_->inc(name);
+}
+
+PartitionServer::Coord& PartitionServer::coord(MsgId cmd_id) { return coord_[cmd_id]; }
+
+void PartitionServer::reply_to(ProcessId client, MsgId cmd_id, ReplyCode code,
+                               net::MessagePtr app_reply, bool cache) {
+  if (cache) completed_.put(cmd_id, CachedReply{code, app_reply});
+  if (client == kNoProcess) return;
+  if (!is_leader()) return;  // a peer replica's leader sends it
+  send_direct(client, net::make_msg<ReplyMsg>(cmd_id, code, group(), std::move(app_reply)));
+}
+
+void PartitionServer::on_amdeliver(const multicast::AmcastMessage& m) {
+  const auto* cm = net::msg_cast<CommandMsg>(m.payload);
+  DSSMR_ASSERT_MSG(cm != nullptr, "partition received a non-command payload");
+  const Command& cmd = cm->cmd;
+  const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+
+  // Retried command that already completed here: re-send the cached outcome.
+  if (const CachedReply* cached = completed_.find(cmd.id)) {
+    if (is_leader() && client != kNoProcess) {
+      send_direct(client,
+                  net::make_msg<ReplyMsg>(cmd.id, cached->code, group(), cached->app_reply));
+    }
+    return;
+  }
+  // Retransmission delivered while the original is still queued: ignore it
+  // (the queued task will answer). Processing it would enqueue a duplicate.
+  if (inflight_.contains(cmd.id)) return;
+
+  switch (cmd.type) {
+    case CommandType::kAccess:
+      if (m.dests.size() == 1) {
+        deliver_access_single(m, cmd);
+      } else {
+        deliver_access_multi(m, cmd);
+      }
+      break;
+    case CommandType::kMove:
+      deliver_move(m, cmd);
+      break;
+    case CommandType::kCreate:
+      deliver_create(m, cmd);
+      break;
+    case CommandType::kDelete:
+      deliver_delete(m, cmd);
+      break;
+  }
+}
+
+// ---- access: single partition (fast path) -----------------------------------
+
+void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
+                                            const Command& cmd) {
+  const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+
+  // Ownership check at delivery time (the paper's "all variables stored
+  // locally?"). Ownership is updated synchronously on delivery of moves, so
+  // a command ordered after a move that brings its variables here passes
+  // even though the values are still in flight.
+  for (VarId v : cmd.read_set) {
+    if (!owned_.contains(v)) {
+      bump("server.retries_issued");
+      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false);
+      return;
+    }
+  }
+  for (VarId v : cmd.write_set) {
+    if (!owned_.contains(v)) {
+      bump("server.retries_issued");
+      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false);
+      return;
+    }
+  }
+
+  bump("server.single_partition_commands");
+  inflight_.insert(cmd.id);
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head = nullptr,
+      .ready = nullptr,
+      .service = app_->service_time(cmd),
+      .run =
+          [this, cmd, client] {
+            inflight_.erase(cmd.id);
+            // A move ordered between delivery and execution cannot have taken
+            // our variables (it would have been ordered before us and already
+            // executed), but a *failed* inbound move can leave an owned
+            // variable with no value; treat as stale information.
+            for (VarId v : cmd.vars()) {
+              if (!store_.contains(v)) {
+                bump("server.retries_issued");
+                reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false);
+                return;
+              }
+            }
+            smr::ExecutionView view{store_};
+            net::MessagePtr app_reply = app_->execute(cmd, view);
+            reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true);
+          },
+  });
+}
+
+// ---- access: multi partition (S-SMR execution) -------------------------------
+
+void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
+                                           const Command& cmd) {
+  const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+  bump("server.multi_partition_commands");
+  inflight_.insert(cmd.id);
+
+  std::vector<GroupId> others;
+  for (GroupId g : m.dests) {
+    if (g != group() && g != config_.oracle_group) others.push_back(g);
+  }
+
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head =
+          [this, cmd, others] {
+            // Ship every variable of the command we own (a snapshot), plus an
+            // implicit signal, to the other involved partitions.
+            std::vector<std::pair<VarId, std::shared_ptr<const smr::VarValue>>> ship;
+            for (VarId v : cmd.vars()) {
+              if (const smr::VarValue* val = store_.get(v); val != nullptr) {
+                ship.emplace_back(v, std::shared_ptr<const smr::VarValue>(val->clone()));
+              }
+            }
+            if (!others.empty()) {
+              rmcast(others, net::make_msg<VarShipMsg>(cmd.id, group(), /*is_move=*/false,
+                                                       std::move(ship)));
+            }
+          },
+      .ready =
+          [this, id = cmd.id, others] {
+            const Coord& c = coord(id);
+            for (GroupId g : others) {
+              if (!c.ships_from.contains(g)) return false;
+            }
+            return true;
+          },
+      .service = app_->service_time(cmd),
+      .run =
+          [this, cmd, client] {
+            inflight_.erase(cmd.id);
+            smr::ExecutionView view{store_};
+            auto it = coord_.find(cmd.id);
+            if (it != coord_.end()) {
+              for (auto& [v, val] : it->second.shipped) {
+                if (!store_.contains(v) && val != nullptr) view.lend(v, val->clone());
+              }
+            }
+            net::MessagePtr app_reply = app_->execute(cmd, view);
+            if (it != coord_.end()) coord_.erase(it);
+            reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true);
+          },
+  });
+}
+
+// ---- move --------------------------------------------------------------------
+
+void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Command& cmd) {
+  const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+  const bool is_dest = cmd.move_dest == group();
+  const std::vector<VarId> vars = cmd.vars();
+
+  if (!is_dest) {
+    // Source: give up ownership immediately (delivery order defines who owns
+    // what); ship the values once predecessors finish executing.
+    std::vector<VarId> mine;
+    for (VarId v : vars) {
+      if (owned_.erase(v) > 0) mine.push_back(v);
+    }
+    bump("server.moves_source");
+    inflight_.insert(cmd.id);
+    exec_->enqueue(smr::ExecutionEngine::Task{
+        .id = cmd.id,
+        .on_head = nullptr,
+        .ready = nullptr,
+        .service = config_.move_service_per_var * static_cast<Duration>(mine.size() + 1),
+        .run =
+            [this, mine, dest = cmd.move_dest, id = cmd.id] {
+              inflight_.erase(id);
+              std::vector<std::pair<VarId, std::shared_ptr<const smr::VarValue>>> ship;
+              for (VarId v : mine) {
+                if (auto val = store_.take(v); val != nullptr) {
+                  ship.emplace_back(v, std::shared_ptr<const smr::VarValue>(std::move(val)));
+                }
+              }
+              rmcast({dest},
+                     net::make_msg<VarShipMsg>(id, group(), /*is_move=*/true, std::move(ship)));
+            },
+    });
+    return;
+  }
+
+  // Destination: claim ownership now; wait for one shipment per source, then
+  // install the values and answer the requester.
+  for (VarId v : vars) owned_.insert(v);
+  std::vector<GroupId> sources;
+  for (GroupId g : cmd.move_sources) {
+    if (g != group()) sources.push_back(g);
+  }
+  bump("server.moves_dest");
+  inflight_.insert(cmd.id);
+
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head = nullptr,
+      .ready =
+          [this, id = cmd.id, sources] {
+            const Coord& c = coord(id);
+            for (GroupId g : sources) {
+              if (!c.ships_from.contains(g)) return false;
+            }
+            return true;
+          },
+      .service = config_.move_service_per_var * static_cast<Duration>(vars.size() + 1),
+      .run =
+          [this, vars, client, id = cmd.id] {
+            inflight_.erase(id);
+            auto it = coord_.find(id);
+            for (VarId v : vars) {
+              if (store_.contains(v)) continue;  // we already held it
+              std::shared_ptr<const smr::VarValue> val;
+              if (it != coord_.end()) {
+                if (auto f = it->second.shipped.find(v); f != it->second.shipped.end()) {
+                  val = f->second;
+                }
+              }
+              if (val != nullptr) {
+                store_.put(v, val->clone());
+              } else {
+                // No source shipped it: the mapping was stale; give the claim up.
+                owned_.erase(v);
+              }
+            }
+            if (it != coord_.end()) coord_.erase(it);
+            reply_to(client, id, ReplyCode::kOk, nullptr, /*cache=*/true);
+          },
+  });
+}
+
+// ---- create / delete ---------------------------------------------------------
+
+void PartitionServer::deliver_create(const multicast::AmcastMessage& m, const Command& cmd) {
+  (void)m;
+  DSSMR_ASSERT(cmd.write_set.size() == 1);
+  const VarId v = cmd.write_set[0];
+  if (owned_.contains(v)) {
+    // Duplicate create (raced consults); the oracle answers nok. Still signal
+    // so the oracle's wait terminates.
+    rmcast({config_.oracle_group}, net::make_msg<SignalMsg>(cmd.id, group()));
+    return;
+  }
+  owned_.insert(v);
+  bump("server.creates");
+  inflight_.insert(cmd.id);
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head = nullptr,
+      .ready = nullptr,
+      .service = config_.create_delete_service,
+      .run =
+          [this, v, id = cmd.id] {
+            inflight_.erase(id);
+            if (owned_.contains(v) && !store_.contains(v)) {
+              store_.put(v, app_->make_default(v));
+            }
+            // Execution-atomicity signal: the oracle replies to the client
+            // only after the partition has applied the create.
+            rmcast({config_.oracle_group}, net::make_msg<SignalMsg>(id, group()));
+          },
+  });
+}
+
+void PartitionServer::deliver_delete(const multicast::AmcastMessage& m, const Command& cmd) {
+  (void)m;
+  DSSMR_ASSERT(cmd.write_set.size() == 1);
+  const VarId v = cmd.write_set[0];
+  owned_.erase(v);
+  bump("server.deletes");
+  inflight_.insert(cmd.id);
+  exec_->enqueue(smr::ExecutionEngine::Task{
+      .id = cmd.id,
+      .on_head = nullptr,
+      .ready = nullptr,
+      .service = config_.create_delete_service,
+      .run =
+          [this, v, id = cmd.id] {
+            inflight_.erase(id);
+            store_.erase(v);
+            rmcast({config_.oracle_group}, net::make_msg<SignalMsg>(id, group()));
+          },
+  });
+}
+
+// ---- reliable-multicast inputs ------------------------------------------------
+
+void PartitionServer::on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) {
+  (void)origin;
+  if (const auto* ship = net::msg_cast<VarShipMsg>(payload)) {
+    if (completed_.contains(ship->cmd_id)) return;  // late duplicate
+    Coord& c = coord(ship->cmd_id);
+    if (!c.ships_from.insert(ship->from_group).second) return;  // replica duplicate
+    for (const auto& [v, val] : ship->vars) {
+      c.shipped.try_emplace(v, val);
+    }
+    exec_->notify();
+    return;
+  }
+  if (net::msg_cast<SignalMsg>(payload) != nullptr) {
+    // Partitions do not wait on signals in this implementation (only the
+    // oracle does, before answering create/delete); ignore.
+    return;
+  }
+}
+
+}  // namespace dssmr::core

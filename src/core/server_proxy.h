@@ -1,0 +1,116 @@
+// Partition server proxy (Algorithm "DS-SMR Server Proxy" of the paper).
+//
+// One PartitionServer instance is one replica of one state partition. It
+// owns a slice of the application state and processes atomically delivered
+// commands in order:
+//
+//  * access, single destination (the DS-SMR fast path): delivered commands
+//    are checked against the ownership set — a command whose variables all
+//    live here executes locally like classic SMR; otherwise the client gets
+//    `retry` (its oracle information was stale).
+//  * access, multiple destinations (the S-SMR baseline and DS-SMR's
+//    fall-back): partitions exchange variables + signals (VarShipMsg) and
+//    only execute once every involved partition has checked in — the
+//    execution-atomic protocol of S-SMR.
+//  * move: sources relinquish ownership at delivery and ship values when the
+//    move reaches the head of their execution queue; the destination waits
+//    for one shipment per source, installs the values, and answers the
+//    requester.
+//  * create/delete: apply locally, then signal the oracle, which sends the
+//    client its reply only after the partition has checked in.
+//
+// Replies are sent by the replica that currently leads the partition's Paxos
+// group; duplicated command deliveries (client retries) are answered from a
+// bounded reply cache keyed by the logical command id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bounded.h"
+#include "common/types.h"
+#include "multicast/atomic.h"
+#include "smr/app.h"
+#include "smr/command.h"
+#include "smr/execution.h"
+#include "stats/metrics.h"
+
+namespace dssmr::core {
+
+struct PartitionServerConfig {
+  /// CPU cost of shipping one variable during a move.
+  Duration move_service_per_var = usec(2);
+  /// CPU cost of installing a created/deleted variable.
+  Duration create_delete_service = usec(5);
+  /// Oracle group (destination of create/delete signals).
+  GroupId oracle_group = kNoGroup;
+};
+
+class PartitionServer : public multicast::GroupNode {
+ public:
+  void init_partition(net::Network& network, const multicast::Directory& directory,
+                      GroupId gid, multicast::GroupNodeConfig node_config,
+                      const smr::AppFactory& app_factory, PartitionServerConfig config,
+                      stats::Metrics* metrics, std::uint64_t seed);
+
+  /// Pre-loads a variable (initial state distribution, before start()).
+  void preload(VarId v, std::unique_ptr<smr::VarValue> value);
+
+  bool owns(VarId v) const { return owned_.contains(v); }
+  std::size_t owned_count() const { return owned_.size(); }
+  const std::unordered_set<VarId>& owned_vars() const { return owned_; }
+  const smr::VariableStore& store() const { return store_; }
+  std::uint64_t executed_count() const { return exec_->executed_count(); }
+  Duration busy_time() const { return exec_->busy_time(); }
+
+ protected:
+  void on_amdeliver(const multicast::AmcastMessage& m) override;
+  void on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) override;
+
+ private:
+  /// Inter-partition inputs accumulated for one command.
+  struct Coord {
+    std::set<GroupId> ships_from;
+    std::unordered_map<VarId, std::shared_ptr<const smr::VarValue>> shipped;
+    std::set<GroupId> signals;
+  };
+
+  struct CachedReply {
+    smr::ReplyCode code;
+    net::MessagePtr app_reply;
+  };
+
+  void deliver_access_single(const multicast::AmcastMessage& m, const smr::Command& cmd);
+  void deliver_access_multi(const multicast::AmcastMessage& m, const smr::Command& cmd);
+  void deliver_move(const multicast::AmcastMessage& m, const smr::Command& cmd);
+  void deliver_create(const multicast::AmcastMessage& m, const smr::Command& cmd);
+  void deliver_delete(const multicast::AmcastMessage& m, const smr::Command& cmd);
+
+  void reply_to(ProcessId client, MsgId cmd_id, smr::ReplyCode code,
+                net::MessagePtr app_reply, bool cache);
+  Coord& coord(MsgId cmd_id);
+  void bump(const std::string& name);
+
+  smr::VariableStore store_;
+  std::unordered_set<VarId> owned_;
+  std::unique_ptr<smr::AppStateMachine> app_;
+  std::unique_ptr<smr::ExecutionEngine> exec_;
+  std::unordered_map<MsgId, Coord> coord_;
+  /// Logical command ids currently queued or executing. A client that
+  /// retransmits re-multicasts under a fresh multicast id, so the amcast
+  /// layer cannot dedup; without this set a duplicate delivery would enqueue
+  /// a second task (double execution for accesses, and a task that waits
+  /// forever for already-consumed shipments for moves).
+  std::unordered_set<MsgId> inflight_;
+  BoundedMap<MsgId, CachedReply> completed_{1 << 15};
+  PartitionServerConfig config_;
+  stats::Metrics* metrics_ = nullptr;
+};
+
+}  // namespace dssmr::core

@@ -1,0 +1,229 @@
+#include "harness/deployment.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::harness {
+
+Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
+                       PolicyFactory policy_factory)
+    : config_(config),
+      network_(engine_, config.net, config.seed),
+      metrics_(config.metrics_bucket),
+      static_map_(std::make_shared<core::StaticMap>()) {
+  DSSMR_ASSERT(config_.partitions >= 1);
+  DSSMR_ASSERT(config_.replicas_per_partition >= 1);
+  DSSMR_ASSERT(config_.oracle_replicas >= 1);
+
+  config_.server.oracle_group = GroupId{static_cast<std::uint32_t>(config_.partitions)};
+
+  // Register partition replicas: partition i lives in rack i % 2 (two
+  // switches in the paper's testbed).
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    std::vector<ProcessId> members;
+    for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+      auto node = std::make_unique<core::PartitionServer>();
+      members.push_back(network_.add_process(*node, static_cast<int>(p % 2)));
+      servers_.push_back(std::move(node));
+    }
+    directory_.add_group(std::move(members));
+    static_map_->partitions.push_back(partition_gid(p));
+  }
+
+  // Oracle group, rack 0.
+  {
+    std::vector<ProcessId> members;
+    for (std::size_t r = 0; r < config_.oracle_replicas; ++r) {
+      auto node = std::make_unique<core::OracleNode>();
+      members.push_back(network_.add_process(*node, 0));
+      oracles_.push_back(std::move(node));
+    }
+    directory_.add_group(std::move(members));
+  }
+
+  // Init nodes now that the directory is complete.
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+      server(p, r).init_partition(network_, directory_, partition_gid(p), config_.node,
+                                  app_factory, config_.server, &metrics_,
+                                  config_.seed * 7919 + p * 131 + r);
+    }
+  }
+  for (std::size_t r = 0; r < config_.oracle_replicas; ++r) {
+    DSSMR_ASSERT(policy_factory != nullptr);
+    oracles_[r]->init_oracle(network_, directory_, oracle_gid(), config_.node,
+                             policy_factory(), partition_gids(), config_.oracle, &metrics_,
+                             config_.seed * 104729 + r);
+  }
+
+  // Clients, alternating racks.
+  core::ClientConfig ccfg;
+  ccfg.strategy = config_.strategy;
+  ccfg.use_cache = config_.client_cache;
+  ccfg.max_retries = config_.client_max_retries;
+  ccfg.op_timeout = config_.client_timeout;
+  ccfg.oracle_group = oracle_gid();
+  ccfg.partitions = partition_gids();
+  ccfg.static_map = static_map_;
+  ccfg.send_hints = config_.client_hints;
+  for (std::size_t c = 0; c < config_.clients; ++c) {
+    auto client = std::make_unique<core::ClientProxy>();
+    network_.add_process(*client, static_cast<int>(c % 2));
+    client->init_client(network_, directory_, ccfg, &metrics_);
+    clients_.push_back(std::move(client));
+  }
+}
+
+std::vector<GroupId> Deployment::partition_gids() const {
+  std::vector<GroupId> gids;
+  gids.reserve(config_.partitions);
+  for (std::size_t p = 0; p < config_.partitions; ++p) gids.push_back(partition_gid(p));
+  return gids;
+}
+
+core::PartitionServer& Deployment::server(std::size_t partition, std::size_t replica) {
+  return *servers_[partition * config_.replicas_per_partition + replica];
+}
+
+void Deployment::preload_var(VarId v, GroupId p, const smr::VarValue& value) {
+  for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+    server(p.value, r).preload(v, value.clone());
+  }
+  for (auto& o : oracles_) o->preload(v, p);
+  static_map_->location[v] = p;
+}
+
+void Deployment::start() {
+  for (auto& s : servers_) s->start();
+  for (auto& o : oracles_) o->start();
+}
+
+void Deployment::settle(Duration max_wait) {
+  const Time deadline = engine_.now() + max_wait;
+  while (engine_.now() < deadline) {
+    bool all_led = true;
+    for (std::size_t p = 0; p < config_.partitions && all_led; ++p) {
+      bool led = false;
+      for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+        led = led || server(p, r).is_leader();
+      }
+      all_led = led;
+    }
+    if (all_led) {
+      bool led = false;
+      for (auto& o : oracles_) led = led || o->is_leader();
+      all_led = led;
+    }
+    if (all_led) return;
+    engine_.run_until(std::min<Time>(engine_.now() + msec(10), deadline));
+  }
+  DSSMR_FAIL("deployment did not elect leaders in time");
+}
+
+std::vector<std::string> Deployment::audit_consistency() {
+  std::vector<std::string> violations;
+  auto complain = [&violations](const std::string& what) { violations.push_back(what); };
+
+  // Reference replica per partition: the first live one (a crashed replica's
+  // state is legitimately stale).
+  std::vector<std::size_t> ref_replica(config_.partitions, config_.replicas_per_partition);
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+      if (!network_.crashed(server(p, r).pid())) {
+        ref_replica[p] = r;
+        break;
+      }
+    }
+    if (ref_replica[p] == config_.replicas_per_partition) {
+      std::ostringstream os;
+      os << "partition " << p << " has no live replica";
+      complain(os.str());
+      return violations;
+    }
+  }
+
+  // 1. Live replicas of each partition agree on the owned set.
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    const auto& ref = server(p, ref_replica[p]).owned_vars();
+    for (std::size_t r = ref_replica[p] + 1; r < config_.replicas_per_partition; ++r) {
+      if (network_.crashed(server(p, r).pid())) continue;
+      const auto& other = server(p, r).owned_vars();
+      if (ref != other) {
+        std::ostringstream os;
+        os << "partition " << p << ": replica " << r << " owns " << other.size()
+           << " vars, replica " << ref_replica[p] << " owns " << ref.size();
+        complain(os.str());
+      }
+    }
+  }
+
+  // 2. Every variable is owned by at most one partition.
+  std::unordered_map<VarId, GroupId> owner;
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    for (VarId v : server(p, ref_replica[p]).owned_vars()) {
+      auto [it, inserted] = owner.try_emplace(v, partition_gid(p));
+      if (!inserted) {
+        std::ostringstream os;
+        os << "var " << v.value << " owned by partitions " << it->second.value << " and "
+           << p;
+        complain(os.str());
+      }
+    }
+  }
+
+  // 3. The oracle mapping points at the actual owner.
+  std::size_t ref_oracle = 0;
+  while (ref_oracle < oracles_.size() && network_.crashed(oracles_[ref_oracle]->pid())) {
+    ++ref_oracle;
+  }
+  if (ref_oracle == oracles_.size()) {
+    complain("no live oracle replica");
+    return violations;
+  }
+  const auto& mapping = oracles_[ref_oracle]->mapping();
+  for (const auto& [v, p] : mapping.entries()) {
+    auto it = owner.find(v);
+    if (it == owner.end()) {
+      std::ostringstream os;
+      os << "oracle maps var " << v.value << " to partition " << p.value
+         << " but no partition owns it";
+      complain(os.str());
+    } else if (it->second != p) {
+      std::ostringstream os;
+      os << "oracle maps var " << v.value << " to partition " << p.value
+         << " but partition " << it->second.value << " owns it";
+      complain(os.str());
+    }
+  }
+  for (const auto& [v, p] : owner) {
+    (void)p;
+    if (!mapping.contains(v)) {
+      std::ostringstream os;
+      os << "var " << v.value << " is owned but unknown to the oracle";
+      complain(os.str());
+    }
+  }
+
+  // 4. Live oracle replicas agree.
+  for (std::size_t r = ref_oracle + 1; r < oracles_.size(); ++r) {
+    if (network_.crashed(oracles_[r]->pid())) continue;
+    if (oracles_[r]->mapping().entries() != mapping.entries()) {
+      std::ostringstream os;
+      os << "oracle replica " << r << " mapping diverges from replica " << ref_oracle;
+      complain(os.str());
+    }
+  }
+  return violations;
+}
+
+std::uint64_t Deployment::total_executed() const {
+  std::uint64_t n = 0;
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    n += const_cast<Deployment*>(this)->server(p, 0).executed_count();
+  }
+  return n;
+}
+
+}  // namespace dssmr::harness

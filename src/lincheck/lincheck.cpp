@@ -1,0 +1,137 @@
+#include "lincheck/lincheck.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "smr/kv.h"
+
+namespace dssmr::lincheck {
+namespace {
+
+struct SearchState {
+  const std::vector<Operation>* ops;
+  std::unordered_set<std::uint64_t> visited;  // (done-mask hash ^ state hash)
+};
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+bool search(SearchState& st, std::uint64_t done_mask, const SequentialSpec& state) {
+  const auto& ops = *st.ops;
+  const auto n = ops.size();
+  if (done_mask == (n == 64 ? ~0ull : (1ull << n) - 1)) return true;
+
+  const std::uint64_t key = mix(done_mask, state.state_hash());
+  if (!st.visited.insert(key).second) return false;
+
+  // An operation can be linearized next iff no *other pending* operation
+  // responded before it was invoked.
+  Time min_response = kTimeMax;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((done_mask >> i) & 1) continue;
+    min_response = std::min(min_response, ops[i].response);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((done_mask >> i) & 1) continue;
+    if (ops[i].invoke > min_response) continue;  // someone finished before it began
+    auto next = state.clone();
+    if (!next->apply(ops[i])) continue;
+    if (search(st, done_mask | (1ull << i), *next)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_linearizable(const std::vector<Operation>& history, const SequentialSpec& initial) {
+  DSSMR_ASSERT_MSG(history.size() <= 64, "checker supports up to 64 operations");
+  SearchState st{&history, {}};
+  return search(st, 0, initial);
+}
+
+// ---- KvSpec -----------------------------------------------------------------
+
+void KvSpec::preload(VarId v, std::int64_t num, std::string data) {
+  vars_[v] = Entry{true, num, std::move(data)};
+}
+
+std::unique_ptr<SequentialSpec> KvSpec::clone() const {
+  return std::make_unique<KvSpec>(*this);
+}
+
+std::uint64_t KvSpec::state_hash() const {
+  std::uint64_t h = 0x12345;
+  for (const auto& [v, e] : vars_) {
+    if (!e.exists) continue;
+    h = mix(h, v.value);
+    h = mix(h, static_cast<std::uint64_t>(e.num));
+    h = mix(h, std::hash<std::string>{}(e.data));
+  }
+  return h;
+}
+
+bool KvSpec::apply(const Operation& op) {
+  const smr::Command& cmd = op.cmd;
+  const auto* reply = op.reply != nullptr ? net::msg_cast<kv::KvReply>(op.reply) : nullptr;
+
+  auto exists = [&](VarId v) {
+    auto it = vars_.find(v);
+    return it != vars_.end() && it->second.exists;
+  };
+
+  if (cmd.type == smr::CommandType::kCreate) {
+    const VarId v = cmd.write_set.at(0);
+    if (exists(v)) return op.code == smr::ReplyCode::kNok;
+    if (op.code == smr::ReplyCode::kNok) return false;
+    vars_[v] = Entry{true, 0, ""};
+    return true;
+  }
+  if (cmd.type == smr::CommandType::kDelete) {
+    const VarId v = cmd.write_set.at(0);
+    if (!exists(v)) return op.code == smr::ReplyCode::kNok;
+    if (op.code == smr::ReplyCode::kNok) return false;
+    vars_.erase(v);
+    return true;
+  }
+
+  // Access commands: a kNok outcome is legal iff some accessed variable does
+  // not exist at this point.
+  bool all_exist = true;
+  for (VarId v : cmd.vars()) all_exist = all_exist && exists(v);
+  if (op.code == smr::ReplyCode::kNok) return !all_exist;
+  if (!all_exist) return false;
+
+  switch (cmd.op) {
+    case kv::kGet: {
+      const Entry& e = vars_[cmd.read_set.at(0)];
+      return reply != nullptr && reply->num == e.num && reply->data == e.data;
+    }
+    case kv::kSet: {
+      for (VarId v : cmd.write_set) vars_[v].data = cmd.arg;
+      return true;
+    }
+    case kv::kAdd: {
+      std::int64_t delta = std::stoll(cmd.arg);
+      std::int64_t last = 0;
+      for (VarId v : cmd.write_set) {
+        vars_[v].num += delta;
+        last = vars_[v].num;
+      }
+      return reply == nullptr || reply->num == last;
+    }
+    case kv::kSumTo: {
+      std::int64_t sum = 0;
+      for (VarId v : cmd.read_set) sum += vars_[v].num;
+      vars_[cmd.write_set.at(0)].num = sum;
+      return reply == nullptr || reply->num == sum;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace dssmr::lincheck

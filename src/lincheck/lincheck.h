@@ -1,0 +1,74 @@
+// Linearizability checker (Wing & Gong search with memoization).
+//
+// Takes a concurrent history of client operations — invocation/response
+// times plus observed results — and decides whether some permutation that
+// respects real-time precedence matches a sequential specification. Used by
+// the property tests to validate the paper's correctness claim end-to-end:
+// histories produced by DS-SMR (including moves, retries, fall-backs and
+// leader crashes) must be linearizable.
+//
+// Complexity is exponential in the number of overlapping operations;
+// intended for histories of a few dozen operations, which is what the tests
+// generate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "smr/command.h"
+
+namespace dssmr::lincheck {
+
+struct Operation {
+  std::size_t client = 0;
+  Time invoke = 0;
+  Time response = 0;
+  smr::Command cmd;
+  smr::ReplyCode code = smr::ReplyCode::kNok;
+  net::MessagePtr reply;
+};
+
+/// A sequential specification: mutable state plus an `apply` that checks one
+/// operation's observed outcome against the sequential semantics.
+class SequentialSpec {
+ public:
+  virtual ~SequentialSpec() = default;
+  virtual std::unique_ptr<SequentialSpec> clone() const = 0;
+  /// Applies `op`; returns false if the observed (code, reply) cannot occur
+  /// at this point of any sequential execution.
+  virtual bool apply(const Operation& op) = 0;
+  /// Hash of the current state (memoization key component).
+  virtual std::uint64_t state_hash() const = 0;
+};
+
+/// True iff `history` is linearizable w.r.t. `initial`.
+/// Supports histories of up to 64 operations.
+bool is_linearizable(const std::vector<Operation>& history, const SequentialSpec& initial);
+
+// ---- the KV spec used by the protocol property tests -----------------------
+
+class KvSpec final : public SequentialSpec {
+ public:
+  struct Entry {
+    bool exists = false;
+    std::int64_t num = 0;
+    std::string data;
+  };
+
+  /// Declares pre-existing variables (mirrors Deployment::preload_var).
+  void preload(VarId v, std::int64_t num, std::string data);
+
+  std::unique_ptr<SequentialSpec> clone() const override;
+  bool apply(const Operation& op) override;
+  std::uint64_t state_hash() const override;
+
+ private:
+  std::map<VarId, Entry> vars_;  // ordered: hash must be order-independent-stable
+};
+
+}  // namespace dssmr::lincheck

@@ -1,0 +1,45 @@
+// Static deployment directory: which processes form which multicast group.
+//
+// Groups are the unit of atomic multicast addressing: one group per state
+// partition plus one group for the partitioning oracle. The directory is
+// immutable after deployment construction and shared (by reference) across
+// every node and client.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace dssmr::multicast {
+
+class Directory {
+ public:
+  /// Appends a group; returns its id. Ids are dense, starting at 0.
+  GroupId add_group(std::vector<ProcessId> members) {
+    const GroupId gid{static_cast<std::uint32_t>(groups_.size())};
+    DSSMR_ASSERT_MSG(!members.empty(), "empty multicast group");
+    groups_.push_back(std::move(members));
+    return gid;
+  }
+
+  const std::vector<ProcessId>& members(GroupId g) const {
+    DSSMR_ASSERT(g.value < groups_.size());
+    return groups_[g.value];
+  }
+
+  std::size_t group_count() const { return groups_.size(); }
+
+  /// All group ids, in id order (handy for "multicast to all partitions").
+  std::vector<GroupId> all_groups() const {
+    std::vector<GroupId> ids;
+    ids.reserve(groups_.size());
+    for (std::uint32_t i = 0; i < groups_.size(); ++i) ids.push_back(GroupId{i});
+    return ids;
+  }
+
+ private:
+  std::vector<std::vector<ProcessId>> groups_;
+};
+
+}  // namespace dssmr::multicast

@@ -1,0 +1,47 @@
+// Message base type for all inter-process traffic.
+//
+// Processes in the simulation share an address space, so "serialization" is
+// a shared_ptr to an immutable payload; size_bytes() supplies the wire size
+// used by the network's bandwidth model. Each protocol defines its own
+// concrete message structs deriving from Message.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::net {
+
+struct Message {
+  virtual ~Message() = default;
+
+  /// Human-readable type tag, for tracing and test assertions.
+  virtual const char* type_name() const = 0;
+
+  /// Simulated wire size, including headers. Drives the bandwidth model.
+  virtual std::size_t size_bytes() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+template <class T, class... Args>
+MessagePtr make_msg(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Downcast helper; returns nullptr when the runtime type differs.
+template <class T>
+const T* msg_cast(const MessagePtr& m) {
+  return dynamic_cast<const T*>(m.get());
+}
+
+/// Downcast that must succeed; aborts otherwise (protocol bug).
+template <class T>
+const T& msg_as(const MessagePtr& m) {
+  const T* p = msg_cast<T>(m);
+  DSSMR_ASSERT_MSG(p != nullptr, "message downcast to wrong type");
+  return *p;
+}
+
+}  // namespace dssmr::net

@@ -1,0 +1,97 @@
+#include "net/network.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::net {
+
+Network::Network(sim::Engine& engine, NetworkConfig config, std::uint64_t seed)
+    : engine_(engine), config_(config), rng_(seed) {}
+
+ProcessId Network::add_process(Actor& actor, int rack) {
+  DSSMR_ASSERT_MSG(actor.pid_ == kNoProcess, "actor registered twice");
+  const ProcessId id{static_cast<std::uint32_t>(processes_.size())};
+  actor.pid_ = id;
+  processes_.push_back(&actor);
+  racks_.push_back(rack);
+  return id;
+}
+
+int Network::rack_of(ProcessId p) const {
+  DSSMR_ASSERT(p.value < racks_.size());
+  return racks_[p.value];
+}
+
+Duration Network::transit_time(ProcessId from, ProcessId to, std::size_t bytes) {
+  if (from == to) return usec(1);  // loopback
+  const bool same_rack = rack_of(from) == rack_of(to);
+  Duration d = same_rack ? config_.intra_rack_latency : config_.inter_rack_latency;
+  if (config_.jitter > 0) d += rng_.range(0, config_.jitter);
+  if (config_.bandwidth_bytes_per_usec > 0) {
+    d += static_cast<Duration>(
+        std::llround(static_cast<double>(bytes) / config_.bandwidth_bytes_per_usec));
+  }
+  return d;
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
+  DSSMR_ASSERT(m != nullptr);
+  DSSMR_ASSERT(from.value < processes_.size() && to.value < processes_.size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += m->size_bytes();
+
+  if (crashed_.contains(from) || !link_up(from, to) ||
+      rng_.chance(config_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  Time arrival = engine_.now() + transit_time(from, to, m->size_bytes());
+  if (config_.fifo) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+    Time& front = fifo_front_[key];
+    if (arrival < front) arrival = front;
+    front = arrival;
+  }
+
+  engine_.schedule_at(arrival, [this, from, to, m = std::move(m)] {
+    if (crashed_.contains(to) || !link_up(from, to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    processes_[to.value]->on_message(from, m);
+  });
+}
+
+void Network::multisend(ProcessId from, const std::vector<ProcessId>& dests,
+                        const MessagePtr& m) {
+  for (ProcessId d : dests) send(from, d, m);
+}
+
+void Network::crash(ProcessId p) { crashed_.insert(p); }
+
+void Network::recover(ProcessId p) { crashed_.erase(p); }
+
+void Network::set_link(ProcessId a, ProcessId b, bool up) {
+  if (up) {
+    down_links_.erase(link_key(a, b));
+  } else {
+    down_links_.insert(link_key(a, b));
+  }
+}
+
+bool Network::link_up(ProcessId a, ProcessId b) const {
+  return down_links_.empty() || !down_links_.contains(link_key(a, b));
+}
+
+void Network::partition_sets(const std::vector<ProcessId>& a,
+                             const std::vector<ProcessId>& b, bool up) {
+  for (ProcessId pa : a) {
+    for (ProcessId pb : b) set_link(pa, pb, up);
+  }
+}
+
+}  // namespace dssmr::net

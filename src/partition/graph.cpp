@@ -1,0 +1,101 @@
+#include "partition/graph.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace dssmr::partition {
+
+Weight Csr::total_vertex_weight() const {
+  Weight t = 0;
+  for (Weight w : vwgt) t += w;
+  return t;
+}
+
+Weight Csr::degree_weight(NodeId u) const {
+  Weight t = 0;
+  for (std::uint64_t i = xadj[u]; i < xadj[u + 1]; ++i) t += ewgt[i];
+  return t;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  touch(u);
+  touch(v);
+  if (u == v) return;  // self-loops carry no cut information
+  edges_[key(u, v)] += w;
+}
+
+void GraphBuilder::touch(NodeId v) {
+  if (static_cast<std::size_t>(v) + 1 > vertex_count_) vertex_count_ = v + 1;
+}
+
+Weight GraphBuilder::edge_weight(NodeId u, NodeId v) const {
+  auto it = edges_.find(key(u, v));
+  return it == edges_.end() ? 0 : it->second;
+}
+
+std::size_t GraphBuilder::memory_bytes() const {
+  // unordered_map node: key + value + hash bucket overhead (~2 pointers).
+  return edges_.size() * (sizeof(std::uint64_t) + sizeof(Weight) + 2 * sizeof(void*)) +
+         edges_.bucket_count() * sizeof(void*);
+}
+
+Csr GraphBuilder::build() const {
+  Csr g;
+  const std::size_t n = vertex_count_;
+  g.vwgt.assign(n, 1);
+  g.xadj.assign(n + 1, 0);
+
+  for (const auto& [k, w] : edges_) {
+    (void)w;
+    const NodeId u = static_cast<NodeId>(k >> 32);
+    const NodeId v = static_cast<NodeId>(k & 0xffffffffu);
+    g.xadj[u + 1]++;
+    g.xadj[v + 1]++;
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.xadj[i] += g.xadj[i - 1];
+
+  g.adj.resize(edges_.size() * 2);
+  g.ewgt.resize(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (const auto& [k, w] : edges_) {
+    const NodeId u = static_cast<NodeId>(k >> 32);
+    const NodeId v = static_cast<NodeId>(k & 0xffffffffu);
+    g.adj[cursor[u]] = v;
+    g.ewgt[cursor[u]++] = w;
+    g.adj[cursor[v]] = u;
+    g.ewgt[cursor[v]++] = w;
+  }
+  return g;
+}
+
+void GraphBuilder::clear() {
+  edges_.clear();
+  vertex_count_ = 0;
+}
+
+Weight edge_cut(const Csr& g, const std::vector<std::uint32_t>& part) {
+  DSSMR_ASSERT(part.size() == g.vertex_count());
+  Weight cut = 0;
+  for (NodeId u = 0; u < g.vertex_count(); ++u) {
+    for (std::uint64_t i = g.xadj[u]; i < g.xadj[u + 1]; ++i) {
+      const NodeId v = g.adj[i];
+      if (u < v && part[u] != part[v]) cut += g.ewgt[i];
+    }
+  }
+  return cut;
+}
+
+double edge_cut_fraction(const Csr& g, const std::vector<std::uint32_t>& part) {
+  if (g.edge_count() == 0) return 0.0;
+  std::uint64_t cut = 0;
+  for (NodeId u = 0; u < g.vertex_count(); ++u) {
+    for (std::uint64_t i = g.xadj[u]; i < g.xadj[u + 1]; ++i) {
+      const NodeId v = g.adj[i];
+      if (u < v && part[u] != part[v]) ++cut;
+    }
+  }
+  return static_cast<double>(cut) / static_cast<double>(g.edge_count());
+}
+
+}  // namespace dssmr::partition

@@ -1,0 +1,64 @@
+// Undirected weighted graphs: an accumulating builder (the oracle's workload
+// graph) and a CSR form consumed by the partitioner.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dssmr::partition {
+
+using NodeId = std::uint32_t;
+using Weight = std::int64_t;
+
+/// Compressed-sparse-row graph with vertex and edge weights.
+struct Csr {
+  std::vector<std::uint64_t> xadj;  // size n+1
+  std::vector<NodeId> adj;          // size 2m
+  std::vector<Weight> ewgt;         // size 2m
+  std::vector<Weight> vwgt;         // size n
+
+  std::size_t vertex_count() const { return vwgt.size(); }
+  std::size_t edge_count() const { return adj.size() / 2; }
+
+  Weight total_vertex_weight() const;
+  Weight degree_weight(NodeId u) const;
+};
+
+/// Accumulates weighted edges; repeated edges add up (each co-access of two
+/// variables strengthens their affinity). Self-loops are ignored.
+class GraphBuilder {
+ public:
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+  /// Ensures the vertex exists even if isolated.
+  void touch(NodeId v);
+
+  std::size_t vertex_count() const { return vertex_count_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// Approximate resident size, for the partitioner-scaling experiment.
+  std::size_t memory_bytes() const;
+
+  Csr build() const;
+  void clear();
+
+ private:
+  static std::uint64_t key(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  std::unordered_map<std::uint64_t, Weight> edges_;
+  std::size_t vertex_count_ = 0;
+};
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+Weight edge_cut(const Csr& g, const std::vector<std::uint32_t>& part);
+
+/// Fraction of edges cut (unweighted), as the paper reports it.
+double edge_cut_fraction(const Csr& g, const std::vector<std::uint32_t>& part);
+
+}  // namespace dssmr::partition

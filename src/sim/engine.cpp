@@ -1,0 +1,62 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dssmr::sim {
+
+TimerId Engine::schedule(Duration delay, Callback cb) {
+  DSSMR_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+TimerId Engine::schedule_at(Time when, Callback cb) {
+  DSSMR_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  const TimerId id = next_seq_++;
+  queue_.push(Event{when, id, std::move(cb)});
+  return id;
+}
+
+void Engine::cancel(TimerId id) {
+  if (id == 0 || id >= next_seq_) return;
+  cancelled_.insert(id);
+}
+
+void Engine::fire_front() {
+  // The queue owns const references; copy out then pop so the callback can
+  // schedule/cancel freely.
+  Event ev = queue_.top();
+  queue_.pop();
+  if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  DSSMR_ASSERT(ev.when >= now_);
+  now_ = ev.when;
+  ++executed_;
+  ev.cb();
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const std::size_t before = executed_;
+    fire_front();
+    if (executed_ != before) return true;  // skipped events were cancelled
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) fire_front();
+}
+
+void Engine::run_until(Time t) {
+  DSSMR_ASSERT(t >= now_);
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= t) fire_front();
+  if (!stopped_) now_ = t;
+}
+
+}  // namespace dssmr::sim

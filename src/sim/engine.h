@@ -1,0 +1,83 @@
+// Deterministic discrete-event simulation engine.
+//
+// The whole distributed system runs inside one Engine: processes, network
+// links, timers and CPU service times are all events on a single virtual
+// clock. Determinism is guaranteed by ordering events by (time, insertion
+// sequence), so two runs with the same seeds replay the same history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dssmr::sim {
+
+/// Handle returned by schedule(); can be used to cancel a pending event.
+using TimerId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` microseconds from now (delay >= 0).
+  TimerId schedule(Duration delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `when` (>= now()).
+  TimerId schedule_at(Time when, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void cancel(TimerId id);
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs every event with time <= `t`, then advances the clock to `t`.
+  void run_until(Time t);
+
+  /// Convenience: run_until(now() + d).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of not-yet-fired, not-cancelled events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    TimerId seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the front event; precondition: queue non-empty.
+  void fire_front();
+
+  Time now_ = 0;
+  TimerId next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace dssmr::sim

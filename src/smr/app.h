@@ -1,0 +1,131 @@
+// Application-facing abstractions of the replication library.
+//
+// Mirrors the Eyrie API surface the paper describes: `VarValue` is the C++
+// analogue of PRObject (a partially replicated data item), `VariableStore`
+// holds the items a partition currently owns, and `AppStateMachine` is the
+// PartitionStateMachine the service designer implements. Application code is
+// written against these types only — it never sees partitions, moves, or the
+// multicast layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace dssmr::smr {
+
+struct Command;  // defined in smr/command.h; forward-declared to avoid a cycle
+
+/// A partially replicated data item. Implementations must be deep-copyable
+/// (items are cloned when shipped between partitions) and know their
+/// serialized size (drives the network bandwidth model for moves).
+struct VarValue {
+  virtual ~VarValue() = default;
+  virtual std::unique_ptr<VarValue> clone() const = 0;
+  virtual std::size_t size_bytes() const = 0;
+};
+
+/// The variables a partition replica currently stores.
+class VariableStore {
+ public:
+  bool contains(VarId v) const { return vars_.contains(v); }
+
+  VarValue* get(VarId v) {
+    auto it = vars_.find(v);
+    return it == vars_.end() ? nullptr : it->second.get();
+  }
+  const VarValue* get(VarId v) const {
+    auto it = vars_.find(v);
+    return it == vars_.end() ? nullptr : it->second.get();
+  }
+
+  void put(VarId v, std::unique_ptr<VarValue> value) {
+    DSSMR_ASSERT(value != nullptr);
+    vars_[v] = std::move(value);
+  }
+
+  /// Removes and returns the value (nullptr when absent).
+  std::unique_ptr<VarValue> take(VarId v) {
+    auto it = vars_.find(v);
+    if (it == vars_.end()) return nullptr;
+    auto value = std::move(it->second);
+    vars_.erase(it);
+    return value;
+  }
+
+  void erase(VarId v) { vars_.erase(v); }
+  std::size_t size() const { return vars_.size(); }
+
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& [v, val] : vars_) n += val->size_bytes();
+    return n;
+  }
+
+ private:
+  std::unordered_map<VarId, std::unique_ptr<VarValue>> vars_;
+};
+
+/// The view a command executes against: the partition's own store plus any
+/// values shipped in from other partitions for this command. Writes to
+/// borrowed (remote) values mutate only the local temporary copy — the owning
+/// partition applies the same deterministic command to its own copy, which is
+/// exactly the S-SMR execution model.
+class ExecutionView {
+ public:
+  explicit ExecutionView(VariableStore& local) : local_(local) {}
+
+  /// Lends a remote value (already cloned by the caller).
+  void lend(VarId v, std::unique_ptr<VarValue> value) {
+    if (value != nullptr) borrowed_[v] = std::move(value);
+  }
+
+  bool contains(VarId v) const { return local_.contains(v) || borrowed_.contains(v); }
+  bool is_local(VarId v) const { return local_.contains(v); }
+
+  VarValue* get(VarId v) {
+    if (VarValue* p = local_.get(v); p != nullptr) return p;
+    auto it = borrowed_.find(v);
+    return it == borrowed_.end() ? nullptr : it->second.get();
+  }
+
+  template <class T>
+  T* get_as(VarId v) {
+    return dynamic_cast<T*>(get(v));
+  }
+
+  VariableStore& local() { return local_; }
+
+ private:
+  VariableStore& local_;
+  std::unordered_map<VarId, std::unique_ptr<VarValue>> borrowed_;
+};
+
+/// Server-side application logic (the paper's PartitionStateMachine).
+/// Implementations must be deterministic: every replica executes the same
+/// command sequence against equivalent state.
+class AppStateMachine {
+ public:
+  virtual ~AppStateMachine() = default;
+
+  /// Executes `cmd` against `view`. All variables the command accesses are in
+  /// `view` unless they do not exist anywhere (deleted / never created) — the
+  /// application must tolerate missing variables and reply accordingly.
+  /// Returns the application-level reply (may be nullptr for "ok, no data").
+  virtual net::MessagePtr execute(const Command& cmd, ExecutionView& view) = 0;
+
+  /// Initial value for a newly created variable.
+  virtual std::unique_ptr<VarValue> make_default(VarId v) = 0;
+
+  /// Simulated CPU cost of executing `cmd` on a replica.
+  virtual Duration service_time(const Command& cmd) const = 0;
+};
+
+/// Factory so each partition replica gets its own state machine instance.
+using AppFactory = std::function<std::unique_ptr<AppStateMachine>()>;
+
+}  // namespace dssmr::smr

@@ -1,0 +1,57 @@
+#include "smr/command.h"
+
+#include <algorithm>
+
+#include "smr/app.h"
+
+namespace dssmr::smr {
+
+const char* to_string(CommandType t) {
+  switch (t) {
+    case CommandType::kAccess:
+      return "access";
+    case CommandType::kCreate:
+      return "create";
+    case CommandType::kDelete:
+      return "delete";
+    case CommandType::kMove:
+      return "move";
+  }
+  return "?";
+}
+
+const char* to_string(ReplyCode c) {
+  switch (c) {
+    case ReplyCode::kOk:
+      return "ok";
+    case ReplyCode::kRetry:
+      return "retry";
+    case ReplyCode::kNok:
+      return "nok";
+  }
+  return "?";
+}
+
+std::vector<VarId> Command::vars() const {
+  std::vector<VarId> all = read_set;
+  all.insert(all.end(), write_set.begin(), write_set.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::size_t Command::size_bytes() const {
+  return 48 + (read_set.size() + write_set.size()) * 8 + arg.size() +
+         move_sources.size() * 4 + hint_edges.size() * 16;
+}
+
+std::size_t VarShipMsg::size_bytes() const {
+  std::size_t n = 32;
+  for (const auto& [v, val] : vars) {
+    (void)v;
+    n += 8 + (val != nullptr ? val->size_bytes() : 0);
+  }
+  return n;
+}
+
+}  // namespace dssmr::smr

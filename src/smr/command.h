@@ -1,0 +1,160 @@
+// Commands, prophecies and replies — the vocabulary shared by clients,
+// partition servers and the oracle (Section 3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace dssmr::smr {
+
+/// The five DS-SMR command types. Consult is carried separately (it never
+/// reaches a partition); the rest are delivered to partitions by atomic
+/// multicast.
+enum class CommandType : std::uint8_t {
+  kAccess,  // application command reading/writing a set of variables
+  kCreate,  // create one variable
+  kDelete,  // delete one variable
+  kMove,    // relocate a set of variables to one partition
+};
+
+const char* to_string(CommandType t);
+
+struct Command {
+  CommandType type = CommandType::kAccess;
+  /// Stable across client retries; servers deduplicate on it.
+  MsgId id{};
+  /// Process the reply should go to when it differs from the multicast
+  /// submitter (oracle-issued moves are answered to the consulting client).
+  ProcessId requester = kNoProcess;
+
+  // -- kAccess --------------------------------------------------------------
+  /// Application opcode, interpreted by the AppStateMachine.
+  std::uint32_t op = 0;
+  /// Variables read / written. For create/delete/move these double as the
+  /// target variable set.
+  std::vector<VarId> read_set;
+  std::vector<VarId> write_set;
+  /// Opaque application argument (e.g. the text of a post).
+  std::string arg;
+
+  // -- kMove ----------------------------------------------------------------
+  /// Source partitions variables may currently live in.
+  std::vector<GroupId> move_sources;
+  /// Destination partition.
+  GroupId move_dest = kNoGroup;
+
+  /// Workload-graph edges this command implies (filled by the application for
+  /// structural operations); the client proxy forwards them to DynaStar-style
+  /// oracles after a successful execution.
+  std::vector<std::pair<VarId, VarId>> hint_edges;
+
+  /// read_set ∪ write_set, deduplicated.
+  std::vector<VarId> vars() const;
+
+  /// Approximate wire size (drives the bandwidth model).
+  std::size_t size_bytes() const;
+};
+
+/// Envelope for a command travelling through atomic multicast.
+struct CommandMsg final : net::Message {
+  Command cmd;
+  explicit CommandMsg(Command c) : cmd(std::move(c)) {}
+  const char* type_name() const override { return "smr.command"; }
+  std::size_t size_bytes() const override { return cmd.size_bytes(); }
+};
+
+enum class ReplyCode : std::uint8_t {
+  kOk,
+  kRetry,  // partition did not hold all variables — re-consult the oracle
+  kNok,    // command cannot execute (missing/duplicate variable)
+};
+
+const char* to_string(ReplyCode c);
+
+/// Server -> client reply.
+struct ReplyMsg final : net::Message {
+  MsgId cmd_id;
+  ReplyCode code;
+  GroupId from_group;
+  net::MessagePtr app_reply;  // application-level result (may be null)
+  ReplyMsg(MsgId id, ReplyCode c, GroupId g, net::MessagePtr r = nullptr)
+      : cmd_id(id), code(c), from_group(g), app_reply(std::move(r)) {}
+  const char* type_name() const override { return "smr.reply"; }
+  std::size_t size_bytes() const override {
+    return 32 + (app_reply != nullptr ? app_reply->size_bytes() : 0);
+  }
+};
+
+// ---- oracle interaction -----------------------------------------------------
+
+/// Client -> oracle: which partitions does `cmd` touch?
+struct ConsultMsg final : net::Message {
+  MsgId consult_id;  // distinct from cmd.id (one command may re-consult)
+  Command cmd;
+  ConsultMsg(MsgId id, Command c) : consult_id(id), cmd(std::move(c)) {}
+  const char* type_name() const override { return "oracle.consult"; }
+  std::size_t size_bytes() const override { return 16 + cmd.size_bytes(); }
+};
+
+/// The oracle's answer (the paper's "prophecy").
+struct ProphecyMsg final : net::Message {
+  MsgId consult_id;
+  ReplyCode code;  // kNok when the command cannot execute
+  /// Per-variable location, <v, P>.
+  std::vector<std::pair<VarId, GroupId>> locations;
+  /// Destination the oracle recommends for collocation (kNoGroup if the
+  /// command is already single-partition).
+  GroupId dest = kNoGroup;
+  /// True when the oracle itself issued the move (DynaStar mode) and the
+  /// client must wait for the destination partition before multicasting.
+  bool oracle_moved = false;
+
+  ProphecyMsg(MsgId id, ReplyCode c) : consult_id(id), code(c) {}
+  const char* type_name() const override { return "oracle.prophecy"; }
+  std::size_t size_bytes() const override { return 32 + locations.size() * 12; }
+};
+
+/// Workload hint: edges of the workload graph (DynaStar-style oracles).
+struct HintMsg final : net::Message {
+  std::vector<std::pair<VarId, VarId>> edges;
+  explicit HintMsg(std::vector<std::pair<VarId, VarId>> e) : edges(std::move(e)) {}
+  const char* type_name() const override { return "oracle.hint"; }
+  std::size_t size_bytes() const override { return 16 + edges.size() * 16; }
+};
+
+// ---- inter-partition coordination -------------------------------------------
+
+struct VarValue;  // smr/app.h
+
+/// Variables (possibly none) shipped from one partition to another for a
+/// command: S-SMR variable exchange when `is_move` is false, ownership
+/// transfer when true. An empty `vars` still counts as the sender's signal.
+struct VarShipMsg final : net::Message {
+  MsgId cmd_id;
+  GroupId from_group;
+  bool is_move;
+  /// Cloned snapshots; receivers clone again before mutating.
+  std::vector<std::pair<VarId, std::shared_ptr<const VarValue>>> vars;
+
+  VarShipMsg(MsgId id, GroupId g, bool mv,
+             std::vector<std::pair<VarId, std::shared_ptr<const VarValue>>> v)
+      : cmd_id(id), from_group(g), is_move(mv), vars(std::move(v)) {}
+  const char* type_name() const override { return "smr.varship"; }
+  std::size_t size_bytes() const override;
+};
+
+/// Execution-atomicity signal (create/delete coordination with the oracle).
+struct SignalMsg final : net::Message {
+  MsgId cmd_id;
+  GroupId from_group;
+  SignalMsg(MsgId id, GroupId g) : cmd_id(id), from_group(g) {}
+  const char* type_name() const override { return "smr.signal"; }
+  std::size_t size_bytes() const override { return 24; }
+};
+
+}  // namespace dssmr::smr

@@ -1,0 +1,83 @@
+// In-order command execution engine with input waits.
+//
+// A partition replica executes delivered commands strictly in delivery
+// order, one at a time, each occupying the (simulated) CPU for its service
+// time. A multi-partition command at the head of the queue may additionally
+// wait for inputs from other partitions (variables and signals); everything
+// behind it blocks — this serialization is precisely why multi-partition
+// commands cap S-SMR's scalability, so the model must capture it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace dssmr::smr {
+
+class ExecutionEngine {
+ public:
+  struct Task {
+    MsgId id;
+    /// Called once, when the task first reaches the head of the queue
+    /// (e.g. to ship local variables and signals to peer partitions).
+    std::function<void()> on_head;
+    /// Inputs available? Re-checked after every notify().
+    std::function<bool()> ready;
+    /// CPU time the execution occupies once ready.
+    Duration service = 0;
+    /// Executes the command (mutates state, sends the reply).
+    std::function<void()> run;
+  };
+
+  explicit ExecutionEngine(sim::Engine& engine) : engine_(engine) {}
+
+  void enqueue(Task t) {
+    queue_.push_back(std::move(t));
+    pump();
+  }
+
+  /// Call when new inputs arrived (shipped variables, signals).
+  void notify() { pump(); }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool idle() const { return queue_.empty() && !executing_; }
+  std::uint64_t executed_count() const { return executed_; }
+
+  /// Total simulated CPU-busy time, for utilization metrics.
+  Duration busy_time() const { return busy_time_; }
+
+ private:
+  void pump() {
+    if (executing_ || queue_.empty()) return;
+    Task& head = queue_.front();
+    if (head.on_head) {
+      auto fn = std::move(head.on_head);
+      head.on_head = nullptr;
+      fn();
+      // on_head may have re-entered pump() via notify(); restart cleanly.
+      if (executing_ || queue_.empty()) return;
+    }
+    if (head.ready && !head.ready()) return;  // wait; notify() re-pumps
+    executing_ = true;
+    busy_time_ += queue_.front().service;
+    engine_.schedule(queue_.front().service, [this] {
+      Task done = std::move(queue_.front());
+      queue_.pop_front();
+      ++executed_;
+      done.run();
+      executing_ = false;
+      pump();
+    });
+  }
+
+  sim::Engine& engine_;
+  std::deque<Task> queue_;
+  bool executing_ = false;
+  std::uint64_t executed_ = 0;
+  Duration busy_time_ = 0;
+};
+
+}  // namespace dssmr::smr

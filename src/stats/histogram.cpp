@@ -1,0 +1,124 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dssmr::stats {
+namespace {
+
+// 64 linear sub-buckets per power of two: relative error <= 1/64.
+constexpr std::uint32_t kSubBucketBits = 6;
+constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kSubBuckets * 64, 0) {}
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int exponent = 63 - std::countl_zero(v);  // floor(log2(v)), >= kSubBucketBits
+  const int shift = exponent - static_cast<int>(kSubBucketBits);
+  const auto sub = static_cast<std::uint32_t>((v >> shift) - kSubBuckets);
+  const auto idx =
+      (static_cast<std::size_t>(exponent - kSubBucketBits + 1)) * kSubBuckets + sub;
+  return idx;
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t tier = index / kSubBuckets;     // >= 1
+  const std::size_t sub = index % kSubBuckets;      // [0, kSubBuckets)
+  const int shift = static_cast<int>(tier) - 1;
+  const std::uint64_t base = (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift;
+  const std::uint64_t width = 1ull << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;  // latencies cannot be negative; clamp defensively
+  const std::size_t idx = bucket_index(value);
+  DSSMR_ASSERT(idx < buckets_.size());
+  buckets_[idx] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value) * static_cast<double>(n);
+}
+
+std::int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::int64_t, double>> Histogram::cdf(std::size_t max_points) const {
+  std::vector<std::pair<std::int64_t, double>> points;
+  if (count_ == 0) return points;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    points.emplace_back(std::clamp(bucket_midpoint(i), min_, max_),
+                        static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  if (points.size() > max_points) {
+    std::vector<std::pair<std::int64_t, double>> thinned;
+    const double stride = static_cast<double>(points.size()) / static_cast<double>(max_points);
+    for (std::size_t i = 0; i < max_points; ++i) {
+      thinned.push_back(points[static_cast<std::size_t>(i * stride)]);
+    }
+    thinned.back() = points.back();
+    points = std::move(thinned);
+  }
+  return points;
+}
+
+void Histogram::merge(const Histogram& other) {
+  DSSMR_ASSERT(buckets_.size() == other.buckets_.size());
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0;
+}
+
+}  // namespace dssmr::stats

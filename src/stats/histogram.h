@@ -1,0 +1,50 @@
+// Log-bucketed latency histogram (HDR-histogram style).
+//
+// Values are bucketed with bounded relative error (~1/64 by default), so the
+// histogram records millions of latency samples in O(1) memory and answers
+// percentile and CDF queries for the evaluation figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dssmr::stats {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const { return max_; }
+  double mean() const;
+  double stddev() const;
+
+  /// Value at quantile q in [0,1]; 0.5 is the median. Returns 0 when empty.
+  std::int64_t percentile(double q) const;
+
+  /// (value, cumulative-fraction) pairs suitable for plotting a CDF.
+  /// Produces at most `max_points` points, skipping empty buckets.
+  std::vector<std::pair<std::int64_t, double>> cdf(std::size_t max_points = 200) const;
+
+  /// Merges another histogram into this one (same bucketing by construction).
+  void merge(const Histogram& other);
+
+  void reset();
+
+ private:
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_midpoint(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace dssmr::stats

@@ -1,0 +1,43 @@
+// Named-metric registry shared by one deployment.
+//
+// Protocol layers bump counters ("moves", "retries", "oracle.consults", ...)
+// and record into histograms/series through this registry; the experiment
+// harness reads them out at the end of a run. Lookup is by string name so
+// new metrics need no central enum, and all accessors create-on-first-use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stats/histogram.h"
+#include "stats/timeseries.h"
+
+namespace dssmr::stats {
+
+class Metrics {
+ public:
+  explicit Metrics(Duration series_bucket_width = sec(1))
+      : series_bucket_width_(series_bucket_width) {}
+
+  void inc(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+  std::uint64_t counter(const std::string& name) const;
+
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  const Histogram* find_histogram(const std::string& name) const;
+
+  TimeSeries& series(const std::string& name);
+  const TimeSeries* find_series(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
+  void reset();
+
+ private:
+  Duration series_bucket_width_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace dssmr::stats

@@ -1,0 +1,27 @@
+#include "stats/timeseries.h"
+
+#include "common/assert.h"
+
+namespace dssmr::stats {
+
+TimeSeries::TimeSeries(Duration bucket_width) : bucket_width_(bucket_width) {
+  DSSMR_ASSERT(bucket_width > 0);
+}
+
+void TimeSeries::add(Time t, double amount) {
+  DSSMR_ASSERT(t >= 0);
+  const auto idx = static_cast<std::size_t>(t / bucket_width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += amount;
+  total_ += amount;
+}
+
+double TimeSeries::bucket(std::size_t i) const {
+  return i < buckets_.size() ? buckets_[i] : 0.0;
+}
+
+double TimeSeries::rate(std::size_t i) const {
+  return bucket(i) / to_seconds(bucket_width_);
+}
+
+}  // namespace dssmr::stats

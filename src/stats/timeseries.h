@@ -1,0 +1,42 @@
+// Fixed-width time-bucketed series.
+//
+// Used for the "throughput over time" and "moves over time" figures: events
+// are accumulated into buckets of a configurable width of virtual time and
+// reported as one row per bucket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dssmr::stats {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width = sec(1));
+
+  /// Adds `amount` to the bucket containing time `t`.
+  void add(Time t, double amount = 1.0);
+
+  Duration bucket_width() const { return bucket_width_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Value accumulated in bucket `i` (0 when past the recorded range).
+  double bucket(std::size_t i) const;
+
+  /// Start time of bucket `i`.
+  Time bucket_start(std::size_t i) const { return static_cast<Time>(i) * bucket_width_; }
+
+  /// Value normalized to a per-second rate.
+  double rate(std::size_t i) const;
+
+  double total() const { return total_; }
+
+ private:
+  Duration bucket_width_;
+  std::vector<double> buckets_;
+  double total_ = 0;
+};
+
+}  // namespace dssmr::stats

@@ -1,0 +1,90 @@
+#include "workload/holme_kim.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace dssmr::workload {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> holme_kim(const HolmeKimConfig& cfg,
+                                                               Rng& rng) {
+  DSSMR_ASSERT(cfg.m >= 1 && cfg.n > cfg.m);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(cfg.n) * cfg.m);
+
+  // `targets` holds one entry per edge endpoint: sampling it uniformly is
+  // preferential attachment.
+  std::vector<std::uint32_t> endpoints;
+  std::vector<std::vector<std::uint32_t>> adj(cfg.n);
+
+  auto connected = [&](std::uint32_t u, std::uint32_t v) {
+    const auto& a = adj[u].size() <= adj[v].size() ? adj[u] : adj[v];
+    const std::uint32_t other = adj[u].size() <= adj[v].size() ? v : u;
+    return std::find(a.begin(), a.end(), other) != a.end();
+  };
+  auto link = [&](std::uint32_t u, std::uint32_t v) {
+    edges.emplace_back(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  };
+
+  // Seed: a path over the first m+1 vertices.
+  for (std::uint32_t v = 0; v < cfg.m; ++v) link(v, v + 1);
+
+  for (std::uint32_t v = cfg.m + 1; v < cfg.n; ++v) {
+    std::uint32_t last_target = cfg.n;  // sentinel
+    std::uint32_t added = 0;
+    std::uint32_t attempts = 0;
+    while (added < cfg.m && attempts < cfg.m * 20) {
+      ++attempts;
+      std::uint32_t target;
+      if (last_target != cfg.n && rng.chance(cfg.p_triad) && !adj[last_target].empty()) {
+        // Triad formation: a random neighbour of the previous target.
+        target = adj[last_target][rng.below(adj[last_target].size())];
+      } else {
+        // Preferential attachment.
+        target = endpoints[rng.below(endpoints.size())];
+      }
+      if (target == v || connected(v, target)) continue;
+      link(v, target);
+      last_target = target;
+      ++added;
+    }
+  }
+  return edges;
+}
+
+partition::Csr holme_kim_csr(const HolmeKimConfig& cfg, Rng& rng) {
+  partition::GraphBuilder b;
+  b.touch(cfg.n - 1);
+  for (auto [u, v] : holme_kim(cfg, rng)) b.add_edge(u, v);
+  return b.build();
+}
+
+double clustering_coefficient(const partition::Csr& g, std::size_t sample, Rng& rng) {
+  if (g.vertex_count() == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t s = 0; s < sample; ++s) {
+    const auto u = static_cast<partition::NodeId>(rng.below(g.vertex_count()));
+    const std::uint64_t deg = g.xadj[u + 1] - g.xadj[u];
+    if (deg < 2) continue;
+    std::unordered_set<partition::NodeId> nbrs;
+    for (std::uint64_t i = g.xadj[u]; i < g.xadj[u + 1]; ++i) nbrs.insert(g.adj[i]);
+    std::uint64_t closed = 0;
+    for (std::uint64_t i = g.xadj[u]; i < g.xadj[u + 1]; ++i) {
+      const partition::NodeId w = g.adj[i];
+      for (std::uint64_t j = g.xadj[w]; j < g.xadj[w + 1]; ++j) {
+        if (g.adj[j] != u && nbrs.contains(g.adj[j])) ++closed;
+      }
+    }
+    sum += static_cast<double>(closed) / static_cast<double>(deg * (deg - 1));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace dssmr::workload

@@ -1,0 +1,36 @@
+// Holme-Kim power-law graph generator with tunable clustering.
+//
+// The paper generates its social networks with this model: growing
+// preferential attachment where each of the m attachments of a new vertex
+// is, with probability p, a "triad formation" step (connect to a neighbour
+// of the previously attached vertex), which produces the high clustering
+// coefficients of real social graphs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "partition/graph.h"
+
+namespace dssmr::workload {
+
+struct HolmeKimConfig {
+  std::uint32_t n = 10'000;  // vertices
+  std::uint32_t m = 3;       // edges per new vertex
+  double p_triad = 0.8;      // triad-formation probability
+};
+
+/// Returns the edge list (u < n, v < n, u != v, no duplicates).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> holme_kim(const HolmeKimConfig& cfg,
+                                                               Rng& rng);
+
+/// Convenience: build the CSR directly.
+partition::Csr holme_kim_csr(const HolmeKimConfig& cfg, Rng& rng);
+
+/// Global clustering coefficient estimate by vertex sampling (checks the
+/// generator produces the clustered structure the model promises).
+double clustering_coefficient(const partition::Csr& g, std::size_t sample, Rng& rng);
+
+}  // namespace dssmr::workload

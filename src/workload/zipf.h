@@ -1,0 +1,23 @@
+// Zipf-distributed sampling over [0, n), used to skew per-user activity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dssmr::workload {
+
+class Zipf {
+ public:
+  /// theta = 0 degenerates to uniform; classic Zipf is theta ~ 0.99.
+  Zipf(std::size_t n, double theta);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dssmr::workload

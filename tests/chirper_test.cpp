@@ -1,0 +1,151 @@
+// Chirper application semantics, from unit level (UserValue) to full-stack
+// (posts fanned out across partitions under DS-SMR).
+#include "chirper/chirper.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/deployment.h"
+#include "testing/dssmr_fixture.h"
+
+namespace dssmr::chirper {
+namespace {
+
+using core::Strategy;
+using harness::Deployment;
+using smr::ReplyCode;
+using namespace dssmr::testing;
+
+TEST(UserValue, TimelineCapEnforced) {
+  UserValue u;
+  for (std::uint64_t i = 0; i < kTimelineCap + 20; ++i) {
+    u.append_post({VarId{1}, i, "x"});
+  }
+  EXPECT_EQ(u.timeline.size(), kTimelineCap);
+  EXPECT_EQ(u.timeline.front().seq, 20u);  // oldest were evicted
+  EXPECT_EQ(u.timeline.back().seq, kTimelineCap + 19);
+}
+
+TEST(UserValue, CloneIsDeep) {
+  UserValue u;
+  u.followers = {VarId{1}, VarId{2}};
+  u.append_post({VarId{9}, 1, "hello"});
+  auto c = u.clone();
+  auto* cu = dynamic_cast<UserValue*>(c.get());
+  ASSERT_NE(cu, nullptr);
+  cu->followers.push_back(VarId{3});
+  cu->timeline[0].text = "mutated";
+  EXPECT_EQ(u.followers.size(), 2u);
+  EXPECT_EQ(u.timeline[0].text, "hello");
+}
+
+TEST(CommandBuilders, PostIncludesFollowersOnce) {
+  auto cmd = make_post(VarId{1}, {VarId{2}, VarId{1}, VarId{3}}, "hi");
+  EXPECT_EQ(cmd.write_set, (std::vector<VarId>{VarId{1}, VarId{2}, VarId{3}}));
+  EXPECT_EQ(cmd.arg, "hi");
+}
+
+TEST(CommandBuilders, FollowCarriesHintEdge) {
+  auto cmd = make_follow(VarId{4}, VarId{7});
+  ASSERT_EQ(cmd.hint_edges.size(), 1u);
+  EXPECT_EQ(cmd.hint_edges[0].first, VarId{4});
+  EXPECT_EQ(cmd.hint_edges[0].second, VarId{7});
+}
+
+// ---- full-stack -------------------------------------------------------------
+
+std::unique_ptr<Deployment> chirper_deployment(std::size_t partitions, Strategy strategy,
+                                               std::size_t users = 8) {
+  auto cfg = small_config(partitions, strategy);
+  auto d = std::make_unique<Deployment>(cfg, chirper_app_factory(),
+                                        [] { return std::make_unique<core::DssmrPolicy>(); });
+  for (std::size_t u = 0; u < users; ++u) {
+    d->preload_var(VarId{u}, d->partition_gid(u % partitions), UserValue{});
+  }
+  d->start();
+  d->settle();
+  return d;
+}
+
+const TimelineReply& as_timeline(const net::MessagePtr& m) {
+  return net::msg_as<TimelineReply>(m);
+}
+
+TEST(ChirperE2E, PostAppearsInOwnTimeline) {
+  auto d = chirper_deployment(2, Strategy::kDssmr);
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {}, "first!")), ReplyCode::kOk);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 1, make_get_timeline(VarId{0}), &reply), ReplyCode::kOk);
+  ASSERT_EQ(as_timeline(reply).posts.size(), 1u);
+  EXPECT_EQ(as_timeline(reply).posts[0].text, "first!");
+  EXPECT_EQ(as_timeline(reply).posts[0].author, VarId{0});
+}
+
+TEST(ChirperE2E, PostFansOutToFollowersAcrossPartitions) {
+  auto d = chirper_deployment(2, Strategy::kDssmr);
+  // User 1 (partition 1) follows user 0 (partition 0).
+  EXPECT_EQ(run_op(*d, 0, make_follow(VarId{1}, VarId{0})), ReplyCode::kOk);
+  // User 0 posts; the write set spans both users -> move + single-partition exec.
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {VarId{1}}, "fanout")), ReplyCode::kOk);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 1, make_get_timeline(VarId{1}), &reply), ReplyCode::kOk);
+  ASSERT_EQ(as_timeline(reply).posts.size(), 1u);
+  EXPECT_EQ(as_timeline(reply).posts[0].text, "fanout");
+  // DS-SMR collocated poster and follower.
+  EXPECT_EQ(d->oracle(0).mapping().locate(VarId{0}), d->oracle(0).mapping().locate(VarId{1}));
+}
+
+TEST(ChirperE2E, FollowThenUnfollowUpdatesLinks) {
+  auto d = chirper_deployment(2, Strategy::kDssmr);
+  EXPECT_EQ(run_op(*d, 0, make_follow(VarId{2}, VarId{3})), ReplyCode::kOk);
+  EXPECT_EQ(run_op(*d, 0, make_unfollow(VarId{2}, VarId{3})), ReplyCode::kOk);
+  // Post by 3 should now reach only 3's own timeline.
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{3}, {}, "alone")), ReplyCode::kOk);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 1, make_get_timeline(VarId{2}), &reply), ReplyCode::kOk);
+  EXPECT_TRUE(as_timeline(reply).posts.empty());
+}
+
+TEST(ChirperE2E, TimelineOrderIsPostOrder) {
+  auto d = chirper_deployment(2, Strategy::kDssmr);
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {}, "one")), ReplyCode::kOk);
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {}, "two")), ReplyCode::kOk);
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {}, "three")), ReplyCode::kOk);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 0, make_get_timeline(VarId{0}), &reply), ReplyCode::kOk);
+  const auto& posts = as_timeline(reply).posts;
+  ASSERT_EQ(posts.size(), 3u);
+  EXPECT_EQ(posts[0].text, "one");
+  EXPECT_EQ(posts[1].text, "two");
+  EXPECT_EQ(posts[2].text, "three");
+}
+
+TEST(ChirperE2E, WorksUnderStaticSsmrToo) {
+  auto d = chirper_deployment(2, Strategy::kStaticSsmr);
+  // Cross-partition post executes as an S-SMR multi-partition command.
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {VarId{1}}, "static")), ReplyCode::kOk);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 1, make_get_timeline(VarId{1}), &reply), ReplyCode::kOk);
+  ASSERT_EQ(as_timeline(reply).posts.size(), 1u);
+  EXPECT_EQ(as_timeline(reply).posts[0].text, "static");
+  // No moves under the static scheme; users stay put.
+  EXPECT_TRUE(d->server(0, 0).owns(VarId{0}));
+  EXPECT_TRUE(d->server(1, 0).owns(VarId{1}));
+}
+
+TEST(ChirperE2E, TimelineOfUnknownUserIsNok) {
+  auto d = chirper_deployment(2, Strategy::kDssmr);
+  EXPECT_EQ(run_op(*d, 0, make_get_timeline(VarId{404})), ReplyCode::kNok);
+}
+
+TEST(ChirperE2E, NewUserViaCreate) {
+  auto d = chirper_deployment(2, Strategy::kDssmr);
+  EXPECT_EQ(run_op(*d, 0, make_create(VarId{100})), ReplyCode::kOk);
+  EXPECT_EQ(run_op(*d, 0, make_follow(VarId{100}, VarId{0})), ReplyCode::kOk);
+  EXPECT_EQ(run_op(*d, 0, make_post(VarId{0}, {VarId{100}}, "welcome")), ReplyCode::kOk);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 0, make_get_timeline(VarId{100}), &reply), ReplyCode::kOk);
+  ASSERT_EQ(as_timeline(reply).posts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dssmr::chirper

@@ -1,0 +1,110 @@
+// Client-proxy behaviour details: cache lifecycle, hint forwarding gating,
+// strategy labels, timeout-driven retransmission.
+#include <gtest/gtest.h>
+
+#include "harness/deployment.h"
+#include "smr/kv.h"
+#include "testing/dssmr_fixture.h"
+
+namespace dssmr::core {
+namespace {
+
+using harness::Deployment;
+using smr::ReplyCode;
+using namespace dssmr::testing;
+
+std::unique_ptr<Deployment> deployment(harness::DeploymentConfig cfg, std::size_t vars = 6) {
+  auto d = std::make_unique<Deployment>(
+      cfg, kv::kv_app_factory(),
+      [] { return std::make_unique<DssmrPolicy>(DssmrPolicy::DestRule::kMostHeld); });
+  for (std::size_t i = 0; i < vars; ++i) {
+    d->preload_var(VarId{i}, d->partition_gid(i % cfg.partitions),
+                   kv::KvValue{static_cast<std::int64_t>(i), ""});
+  }
+  d->start();
+  d->settle();
+  return d;
+}
+
+TEST(ClientProxy, StrategyNames) {
+  EXPECT_STREQ(to_string(Strategy::kStaticSsmr), "S-SMR");
+  EXPECT_STREQ(to_string(Strategy::kDssmr), "DS-SMR");
+  EXPECT_STREQ(to_string(Strategy::kDynaStar), "DynaStar");
+}
+
+TEST(ClientProxy, CacheStartsEmptyAndFillsFromProphecies) {
+  auto d = deployment(small_config(2, Strategy::kDssmr));
+  EXPECT_EQ(d->client(0).cached_location(VarId{0}), std::nullopt);
+  EXPECT_EQ(run_op(*d, 0, kv_get(VarId{0})), ReplyCode::kOk);
+  EXPECT_EQ(d->client(0).cached_location(VarId{0}), d->partition_gid(0));
+  // Another client's cache is unaffected.
+  EXPECT_EQ(d->client(1).cached_location(VarId{0}), std::nullopt);
+}
+
+TEST(ClientProxy, MoveUpdatesCacheForAllMovedVars) {
+  auto d = deployment(small_config(2, Strategy::kDssmr));
+  EXPECT_EQ(run_op(*d, 0, kv_sum({VarId{0}, VarId{2}, VarId{1}}, VarId{1})), ReplyCode::kOk);
+  // All three collocated on partition 0 (most-held); the mover's cache knows.
+  for (VarId v : {VarId{0}, VarId{1}, VarId{2}}) {
+    EXPECT_EQ(d->client(0).cached_location(v), d->partition_gid(0));
+  }
+}
+
+TEST(ClientProxy, NokDoesNotPoisonCache) {
+  auto d = deployment(small_config(2, Strategy::kDssmr));
+  EXPECT_EQ(run_op(*d, 0, kv_get(VarId{77})), ReplyCode::kNok);
+  EXPECT_EQ(d->client(0).cached_location(VarId{77}), std::nullopt);
+}
+
+TEST(ClientProxy, HintsOnlySentWhenEnabled) {
+  auto cfg = small_config(2, Strategy::kDssmr);
+  cfg.client_hints = false;
+  auto d = deployment(cfg);
+  smr::Command cmd = kv_get(VarId{0});
+  cmd.hint_edges = {{VarId{0}, VarId{1}}};
+  EXPECT_EQ(run_op(*d, 0, cmd), ReplyCode::kOk);
+  d->engine().run_for(msec(200));
+  EXPECT_EQ(d->metrics().counter("client.hints"), 0u);
+  EXPECT_EQ(d->metrics().counter("oracle.hints"), 0u);
+}
+
+TEST(ClientProxy, TimeoutsRetransmitUntilAnswered) {
+  // Latency above the client timeout: progress must come from retransmission
+  // (and the reply caches make the retransmissions harmless).
+  auto cfg = small_config(2, Strategy::kDssmr, 1);
+  cfg.client_timeout = msec(25);
+  cfg.net.intra_rack_latency = msec(10);
+  cfg.net.inter_rack_latency = msec(18);
+  auto d = deployment(cfg);
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 0, kv_add(VarId{0}, 3), &reply), ReplyCode::kOk);
+  EXPECT_EQ(kv_num(reply), 3);
+  EXPECT_GT(d->metrics().counter("client.timeouts"), 0u);
+  // Despite duplicated submissions, the add applied once.
+  EXPECT_EQ(run_op(*d, 0, kv_get(VarId{0}), &reply), ReplyCode::kOk);
+  EXPECT_EQ(kv_num(reply), 3);
+}
+
+TEST(ClientProxy, SequentialOpsReuseTheProxy) {
+  auto d = deployment(small_config(2, Strategy::kDssmr));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(run_op(*d, 0, kv_add(VarId{0}, 1)), ReplyCode::kOk);
+    EXPECT_FALSE(d->client(0).busy());
+  }
+  net::MessagePtr reply;
+  EXPECT_EQ(run_op(*d, 0, kv_get(VarId{0}), &reply), ReplyCode::kOk);
+  EXPECT_EQ(kv_num(reply), 20);
+}
+
+TEST(ClientProxy, StaticStrategyNeverTouchesTheOracle) {
+  auto d = deployment(small_config(2, Strategy::kStaticSsmr));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(run_op(*d, 0, kv_sum({VarId{0}, VarId{1}}, VarId{0})), ReplyCode::kOk);
+  }
+  EXPECT_EQ(d->metrics().counter("client.consults"), 0u);
+  EXPECT_EQ(d->metrics().counter("oracle.consults"), 0u);
+  EXPECT_EQ(d->metrics().counter("client.moves"), 0u);
+}
+
+}  // namespace
+}  // namespace dssmr::core

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bounded.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dssmr {
+namespace {
+
+TEST(StrongId, ComparesAndHashes) {
+  ProcessId a{1}, b{2}, c{1};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  std::unordered_set<ProcessId> s{a, b, c};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(msec(3), usec(3000));
+  EXPECT_EQ(sec(2), msec(2000));
+  EXPECT_DOUBLE_EQ(to_seconds(sec(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_millis(msec(5)), 5.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng r{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r{9};
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo |= (v == -3);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{11};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r{13};
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{17};
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.25);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{42};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r{19};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(BoundedSet, DedupsWithinWindow) {
+  BoundedSet<int> s{4};
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(1));
+  EXPECT_TRUE(s.contains(1));
+}
+
+TEST(BoundedSet, EvictsOldest) {
+  BoundedSet<int> s{3};
+  s.insert(1);
+  s.insert(2);
+  s.insert(3);
+  s.insert(4);  // evicts 1
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(BoundedMap, PutFindEvict) {
+  BoundedMap<int, std::string> m{2};
+  m.put(1, "a");
+  m.put(2, "b");
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), "a");
+  m.put(3, "c");  // evicts key 1
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_NE(m.find(2), nullptr);
+  EXPECT_NE(m.find(3), nullptr);
+}
+
+TEST(BoundedMap, OverwriteDoesNotGrow) {
+  BoundedMap<int, int> m{2};
+  m.put(1, 10);
+  m.put(1, 20);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(1), 20);
+}
+
+}  // namespace
+}  // namespace dssmr

@@ -1,0 +1,180 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace dssmr::net {
+namespace {
+
+struct Probe final : Message {
+  int tag;
+  std::size_t bytes;
+  explicit Probe(int t, std::size_t b = 64) : tag(t), bytes(b) {}
+  const char* type_name() const override { return "test.probe"; }
+  std::size_t size_bytes() const override { return bytes; }
+};
+
+class Sink : public Actor {
+ public:
+  void on_message(ProcessId from, const MessagePtr& m) override {
+    received.emplace_back(from, m);
+  }
+  std::vector<std::pair<ProcessId, MessagePtr>> received;
+};
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : network(engine, config(), 1) {}
+  static NetworkConfig config() {
+    NetworkConfig c;
+    c.intra_rack_latency = usec(50);
+    c.inter_rack_latency = usec(150);
+    c.jitter = 0;
+    c.bandwidth_bytes_per_usec = 0;  // pure latency unless a test opts in
+    return c;
+  }
+  sim::Engine engine;
+  net::Network network;
+};
+
+TEST_F(NetFixture, DeliversWithIntraRackLatency) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.send(pa, pb, make_msg<Probe>(1));
+  engine.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, pa);
+  EXPECT_EQ(engine.now(), usec(50));
+}
+
+TEST_F(NetFixture, InterRackIsSlower) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 1);
+  network.send(pa, pb, make_msg<Probe>(1));
+  engine.run();
+  EXPECT_EQ(engine.now(), usec(150));
+}
+
+TEST_F(NetFixture, BandwidthAddsPerByteCost) {
+  NetworkConfig cfg = config();
+  cfg.bandwidth_bytes_per_usec = 100.0;
+  sim::Engine e2;
+  Network n2(e2, cfg, 1);
+  Sink a, b;
+  auto pa = n2.add_process(a, 0);
+  auto pb = n2.add_process(b, 0);
+  n2.send(pa, pb, make_msg<Probe>(1, 10'000));  // 10k bytes @ 100 B/us = 100us
+  e2.run();
+  EXPECT_EQ(e2.now(), usec(150));
+}
+
+TEST_F(NetFixture, FifoPerPair) {
+  NetworkConfig cfg = config();
+  cfg.jitter = usec(100);  // with jitter, later sends could otherwise overtake
+  sim::Engine e2;
+  Network n2(e2, cfg, 123);
+  Sink a, b;
+  auto pa = n2.add_process(a, 0);
+  auto pb = n2.add_process(b, 0);
+  for (int i = 0; i < 20; ++i) n2.send(pa, pb, make_msg<Probe>(i));
+  e2.run();
+  ASSERT_EQ(b.received.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(msg_as<Probe>(b.received[static_cast<std::size_t>(i)].second).tag, i);
+  }
+}
+
+TEST_F(NetFixture, SelfSendLoopsBack) {
+  Sink a;
+  auto pa = network.add_process(a, 0);
+  network.send(pa, pa, make_msg<Probe>(9));
+  engine.run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(engine.now(), usec(1));
+}
+
+TEST_F(NetFixture, CrashedReceiverGetsNothing) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.crash(pb);
+  network.send(pa, pb, make_msg<Probe>(1));
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetFixture, CrashedSenderSendsNothing) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.crash(pa);
+  network.send(pa, pb, make_msg<Probe>(1));
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetFixture, CrashDropsInFlightMessages) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.send(pa, pb, make_msg<Probe>(1));
+  // Crash after the send but before delivery.
+  engine.schedule(usec(10), [&] { network.crash(pb); });
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetFixture, RecoverRestoresDelivery) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.crash(pb);
+  network.recover(pb);
+  network.send(pa, pb, make_msg<Probe>(1));
+  engine.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetFixture, DropProbabilityLosesMessages) {
+  NetworkConfig cfg = config();
+  cfg.drop_probability = 0.5;
+  sim::Engine e2;
+  Network n2(e2, cfg, 99);
+  Sink a, b;
+  auto pa = n2.add_process(a, 0);
+  auto pb = n2.add_process(b, 0);
+  for (int i = 0; i < 1000; ++i) n2.send(pa, pb, make_msg<Probe>(i));
+  e2.run();
+  EXPECT_GT(b.received.size(), 350u);
+  EXPECT_LT(b.received.size(), 650u);
+}
+
+TEST_F(NetFixture, MultisendReachesAll) {
+  Sink a, b, c;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  auto pc = network.add_process(c, 1);
+  network.multisend(pa, {pb, pc}, make_msg<Probe>(5));
+  engine.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST_F(NetFixture, StatsCountTraffic) {
+  Sink a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.send(pa, pb, make_msg<Probe>(1, 100));
+  engine.run();
+  EXPECT_EQ(network.stats().messages_sent, 1u);
+  EXPECT_EQ(network.stats().messages_delivered, 1u);
+  EXPECT_EQ(network.stats().bytes_sent, 100u);
+}
+
+}  // namespace
+}  // namespace dssmr::net

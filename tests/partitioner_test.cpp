@@ -1,0 +1,181 @@
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "partition/graph.h"
+#include "workload/holme_kim.h"
+
+namespace dssmr::partition {
+namespace {
+
+/// A graph of `clusters` dense cliques connected by single bridge edges — the
+/// canonical easy case any decent partitioner must nail.
+Csr clustered_graph(std::uint32_t clusters, std::uint32_t size) {
+  GraphBuilder b;
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    const std::uint32_t base = c * size;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      for (std::uint32_t j = i + 1; j < size; ++j) b.add_edge(base + i, base + j);
+    }
+    if (c > 0) b.add_edge(base - 1, base);  // bridge
+  }
+  return b.build();
+}
+
+TEST(GraphBuilder, AccumulatesParallelEdges) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 0, 3);
+  EXPECT_EQ(b.edge_weight(0, 1), 4);
+  EXPECT_EQ(b.edge_count(), 1u);
+}
+
+TEST(GraphBuilder, IgnoresSelfLoops) {
+  GraphBuilder b;
+  b.add_edge(2, 2);
+  EXPECT_EQ(b.edge_count(), 0u);
+  EXPECT_EQ(b.vertex_count(), 3u);  // vertex 2 still exists
+}
+
+TEST(GraphBuilder, BuildsSymmetricCsr) {
+  GraphBuilder b;
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 5);
+  Csr g = b.build();
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree_weight(1), 7);
+  EXPECT_EQ(g.degree_weight(0), 2);
+  EXPECT_EQ(g.total_vertex_weight(), 3);
+}
+
+TEST(EdgeCut, CountsCrossEdgesOnly) {
+  GraphBuilder b;
+  b.add_edge(0, 1, 10);
+  b.add_edge(2, 3, 7);
+  b.add_edge(1, 2, 1);
+  Csr g = b.build();
+  EXPECT_EQ(edge_cut(g, {0, 0, 1, 1}), 1);
+  EXPECT_EQ(edge_cut(g, {0, 1, 0, 1}), 18);
+  EXPECT_DOUBLE_EQ(edge_cut_fraction(g, {0, 0, 1, 1}), 1.0 / 3.0);
+}
+
+TEST(Partitioner, EmptyGraph) {
+  Csr g;
+  PartitionerConfig cfg;
+  cfg.k = 4;
+  auto r = partition_graph(g, cfg);
+  EXPECT_TRUE(r.part.empty());
+  EXPECT_EQ(r.cut, 0);
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  Csr g = clustered_graph(2, 10);
+  PartitionerConfig cfg;
+  cfg.k = 1;
+  auto r = partition_graph(g, cfg);
+  EXPECT_EQ(r.cut, 0);
+  for (auto p : r.part) EXPECT_EQ(p, 0u);
+}
+
+TEST(Partitioner, SeparatesTwoCliquesPerfectly) {
+  Csr g = clustered_graph(2, 20);
+  PartitionerConfig cfg;
+  cfg.k = 2;
+  auto r = partition_graph(g, cfg);
+  EXPECT_EQ(r.cut, 1);  // only the bridge
+  EXPECT_EQ(r.part_weights[0], 20);
+  EXPECT_EQ(r.part_weights[1], 20);
+}
+
+TEST(Partitioner, FourCliquesFourParts) {
+  Csr g = clustered_graph(4, 16);
+  PartitionerConfig cfg;
+  cfg.k = 4;
+  auto r = partition_graph(g, cfg);
+  EXPECT_LE(r.cut, 3);  // the three bridges
+  for (auto w : r.part_weights) EXPECT_EQ(w, 16);
+}
+
+TEST(Partitioner, RespectsBalanceCap) {
+  Rng rng{3};
+  Csr g = workload::holme_kim_csr({.n = 3000, .m = 3, .p_triad = 0.7}, rng);
+  PartitionerConfig cfg;
+  cfg.k = 8;
+  cfg.imbalance = 1.05;
+  auto r = partition_graph(g, cfg);
+  const Weight cap =
+      static_cast<Weight>(1.05 * static_cast<double>(g.total_vertex_weight()) / 8.0) + 1;
+  Weight total = 0;
+  for (auto w : r.part_weights) {
+    EXPECT_LE(w, cap);
+    total += w;
+  }
+  EXPECT_EQ(total, g.total_vertex_weight());
+}
+
+TEST(Partitioner, NoVertexLost) {
+  Rng rng{5};
+  Csr g = workload::holme_kim_csr({.n = 1000, .m = 2, .p_triad = 0.8}, rng);
+  PartitionerConfig cfg;
+  cfg.k = 4;
+  auto r = partition_graph(g, cfg);
+  ASSERT_EQ(r.part.size(), g.vertex_count());
+  for (auto p : r.part) EXPECT_LT(p, 4u);
+}
+
+TEST(Partitioner, BeatsHashPlacementOnClusteredGraphs) {
+  Rng rng{7};
+  Csr g = workload::holme_kim_csr({.n = 4000, .m = 3, .p_triad = 0.9}, rng);
+  PartitionerConfig cfg;
+  cfg.k = 4;
+  auto r = partition_graph(g, cfg);
+  const Weight hash_cut = edge_cut(g, hash_partition(g.vertex_count(), 4));
+  EXPECT_LT(r.cut, hash_cut / 3) << "multilevel cut " << r.cut << " vs hash " << hash_cut;
+}
+
+TEST(Partitioner, DeterministicAcrossCalls) {
+  Rng rng{11};
+  Csr g = workload::holme_kim_csr({.n = 2000, .m = 3, .p_triad = 0.8}, rng);
+  PartitionerConfig cfg;
+  cfg.k = 4;
+  auto a = partition_graph(g, cfg);
+  auto b = partition_graph(g, cfg);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+TEST(Partitioner, ReportedCutMatchesRecount) {
+  Rng rng{13};
+  Csr g = workload::holme_kim_csr({.n = 1500, .m = 2, .p_triad = 0.6}, rng);
+  PartitionerConfig cfg;
+  cfg.k = 3;
+  auto r = partition_graph(g, cfg);
+  EXPECT_EQ(r.cut, edge_cut(g, r.part));
+}
+
+TEST(Partitioner, RefinementImprovesOnNoRefinement) {
+  // More passes do not monotonically improve (different local optima), but
+  // refinement must clearly beat projecting the coarse partition unrefined.
+  Rng rng{17};
+  Csr g = workload::holme_kim_csr({.n = 2000, .m = 3, .p_triad = 0.8}, rng);
+  PartitionerConfig none;
+  none.k = 4;
+  none.refine_passes = 0;
+  PartitionerConfig many = none;
+  many.refine_passes = 8;
+  const Weight refined = partition_graph(g, many).cut;
+  const Weight unrefined = partition_graph(g, none).cut;
+  EXPECT_LT(refined, unrefined) << refined << " vs " << unrefined;
+}
+
+TEST(HashPartition, RoundRobin) {
+  auto p = hash_partition(7, 3);
+  EXPECT_EQ(p, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace dssmr::partition

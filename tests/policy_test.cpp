@@ -1,0 +1,182 @@
+// Unit tests of the oracle-side placement machinery: the dynamic Mapping,
+// the DS-SMR destination rules, and the DynaStar-style graph policy.
+#include <gtest/gtest.h>
+
+#include "core/dynastar_policy.h"
+#include "core/mapping.h"
+#include "core/oracle.h"
+
+namespace dssmr::core {
+namespace {
+
+std::vector<GroupId> three_parts() { return {GroupId{0}, GroupId{1}, GroupId{2}}; }
+
+TEST(Mapping, PlaceLocateErase) {
+  Mapping m{three_parts()};
+  EXPECT_EQ(m.locate(VarId{1}), kNoGroup);
+  m.place(VarId{1}, GroupId{2});
+  EXPECT_EQ(m.locate(VarId{1}), GroupId{2});
+  EXPECT_TRUE(m.contains(VarId{1}));
+  m.erase(VarId{1});
+  EXPECT_FALSE(m.contains(VarId{1}));
+  EXPECT_EQ(m.var_count(), 0u);
+}
+
+TEST(Mapping, LoadTracking) {
+  Mapping m{three_parts()};
+  m.place(VarId{1}, GroupId{0});
+  m.place(VarId{2}, GroupId{0});
+  m.place(VarId{3}, GroupId{1});
+  EXPECT_EQ(m.load(GroupId{0}), 2u);
+  EXPECT_EQ(m.load(GroupId{1}), 1u);
+  EXPECT_EQ(m.load(GroupId{2}), 0u);
+  EXPECT_EQ(m.least_loaded(), GroupId{2});
+  m.place(VarId{1}, GroupId{2});  // re-place updates both counts
+  EXPECT_EQ(m.load(GroupId{0}), 1u);
+  EXPECT_EQ(m.load(GroupId{2}), 1u);
+}
+
+TEST(DssmrPolicy, PlaceNewBalances) {
+  Mapping m{three_parts()};
+  DssmrPolicy policy;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    const GroupId p = policy.place_new(VarId{i}, m);
+    m.place(VarId{i}, p);
+  }
+  for (GroupId g : three_parts()) EXPECT_EQ(m.load(g), 3u);
+}
+
+TEST(DssmrPolicy, MostHeldPicksDominantPartition) {
+  Mapping m{three_parts()};
+  m.place(VarId{1}, GroupId{1});
+  m.place(VarId{2}, GroupId{1});
+  m.place(VarId{3}, GroupId{2});
+  DssmrPolicy policy{DssmrPolicy::DestRule::kMostHeld};
+  EXPECT_EQ(policy.choose_destination({VarId{1}, VarId{2}, VarId{3}}, m), GroupId{1});
+}
+
+TEST(DssmrPolicy, MostHeldTiesAreSpread) {
+  // With pure ties the hashed tie-break must not always pick partition 0.
+  Mapping m{three_parts()};
+  DssmrPolicy policy{DssmrPolicy::DestRule::kMostHeld};
+  std::set<std::uint32_t> chosen;
+  for (std::uint64_t i = 0; i < 40; i += 2) {
+    m.place(VarId{i}, GroupId{0});
+    m.place(VarId{i + 1}, GroupId{1});
+    chosen.insert(policy.choose_destination({VarId{i}, VarId{i + 1}}, m).value);
+  }
+  EXPECT_GT(chosen.size(), 1u);
+}
+
+TEST(DssmrPolicy, DestinationIsDeterministic) {
+  Mapping m{three_parts()};
+  m.place(VarId{1}, GroupId{0});
+  m.place(VarId{2}, GroupId{1});
+  for (auto rule : {DssmrPolicy::DestRule::kMostHeld, DssmrPolicy::DestRule::kRandomInvolved,
+                    DssmrPolicy::DestRule::kLeastLoaded}) {
+    DssmrPolicy a{rule}, b{rule};
+    EXPECT_EQ(a.choose_destination({VarId{1}, VarId{2}}, m),
+              b.choose_destination({VarId{1}, VarId{2}}, m));
+  }
+}
+
+TEST(DssmrPolicy, RandomInvolvedStaysAmongInvolved) {
+  Mapping m{three_parts()};
+  m.place(VarId{1}, GroupId{0});
+  m.place(VarId{2}, GroupId{2});
+  DssmrPolicy policy{DssmrPolicy::DestRule::kRandomInvolved};
+  const GroupId d = policy.choose_destination({VarId{1}, VarId{2}}, m);
+  EXPECT_TRUE(d == GroupId{0} || d == GroupId{2});
+}
+
+TEST(DssmrPolicy, LeastLoadedPrefersEmptierPartition) {
+  Mapping m{three_parts()};
+  for (std::uint64_t i = 0; i < 5; ++i) m.place(VarId{i}, GroupId{0});
+  m.place(VarId{10}, GroupId{1});
+  DssmrPolicy policy{DssmrPolicy::DestRule::kLeastLoaded};
+  EXPECT_EQ(policy.choose_destination({VarId{0}, VarId{10}}, m), GroupId{1});
+}
+
+TEST(DeriveMoveId, StableAndDistinct) {
+  EXPECT_EQ(derive_move_id(MsgId{7}), derive_move_id(MsgId{7}));
+  EXPECT_NE(derive_move_id(MsgId{7}), derive_move_id(MsgId{8}));
+  EXPECT_NE(derive_move_id(MsgId{7}), MsgId{7});
+}
+
+// ---- DynaStarPolicy ------------------------------------------------------------
+
+DynaStarPolicy::Config dynastar_cfg(std::uint32_t k, std::uint64_t every = 1000) {
+  DynaStarPolicy::Config cfg;
+  cfg.repartition_every_hints = every;
+  cfg.partitioner.k = k;
+  return cfg;
+}
+
+TEST(DynaStarPolicy, FallsBackBeforeFirstRepartition) {
+  Mapping m{three_parts()};
+  m.place(VarId{1}, GroupId{0});
+  m.place(VarId{2}, GroupId{1});
+  DynaStarPolicy policy{dynastar_cfg(3)};
+  const GroupId d = policy.choose_destination({VarId{1}, VarId{2}}, m);
+  EXPECT_TRUE(d == GroupId{0} || d == GroupId{1});
+  EXPECT_EQ(policy.repartition_count(), 0u);
+}
+
+TEST(DynaStarPolicy, RepartitionTriggersOnHintThreshold) {
+  DynaStarPolicy policy{dynastar_cfg(2, /*every=*/4)};
+  policy.on_hint({{VarId{1}, VarId{2}}, {VarId{2}, VarId{3}}});
+  EXPECT_EQ(policy.repartition_count(), 0u);
+  policy.on_hint({{VarId{3}, VarId{4}}, {VarId{4}, VarId{1}}});
+  EXPECT_EQ(policy.repartition_count(), 1u);
+}
+
+TEST(DynaStarPolicy, IdealPartitioningSeparatesCliques) {
+  Mapping m{{GroupId{0}, GroupId{1}}};
+  DynaStarPolicy policy{dynastar_cfg(2)};
+  // Two 4-cliques, A = {0..3}, B = {10..13}, scattered over the mapping.
+  for (std::uint64_t c : {0ull, 10ull}) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      for (std::uint64_t j = i + 1; j < 4; ++j) {
+        policy.preload_edge(VarId{c + i}, VarId{c + j}, 10);
+      }
+      m.place(VarId{c + i}, GroupId{static_cast<std::uint32_t>(i % 2)});
+    }
+  }
+  policy.force_repartition();
+  EXPECT_EQ(policy.repartition_count(), 1u);
+
+  // The destination for clique A's variables must be one partition, and the
+  // destination for clique B must be the other (balance).
+  const GroupId da =
+      policy.choose_destination({VarId{0}, VarId{1}, VarId{2}, VarId{3}}, m);
+  const GroupId db =
+      policy.choose_destination({VarId{10}, VarId{11}, VarId{12}, VarId{13}}, m);
+  EXPECT_NE(da, kNoGroup);
+  EXPECT_NE(db, kNoGroup);
+  EXPECT_NE(da, db);
+}
+
+TEST(DynaStarPolicy, PlaceNewUsesIdealWhenKnown) {
+  Mapping m{{GroupId{0}, GroupId{1}}};
+  DynaStarPolicy policy{dynastar_cfg(2)};
+  policy.preload_edge(VarId{1}, VarId{2}, 5);
+  policy.preload_edge(VarId{3}, VarId{4}, 5);
+  policy.force_repartition();
+  const GroupId p1 = policy.place_new(VarId{1}, m);
+  const GroupId p2 = policy.place_new(VarId{2}, m);
+  EXPECT_EQ(p1, p2);  // connected pair shares its ideal partition
+  // An unknown variable falls back to least-loaded.
+  m.place(VarId{100}, GroupId{0});
+  EXPECT_EQ(policy.place_new(VarId{999}, m), GroupId{1});
+}
+
+TEST(DynaStarPolicy, GraphGrowsWithCreatesAndHints) {
+  DynaStarPolicy policy{dynastar_cfg(2)};
+  policy.on_create(VarId{5});
+  policy.on_hint({{VarId{5}, VarId{6}}});
+  EXPECT_EQ(policy.graph_vertex_count(), 2u);
+  EXPECT_EQ(policy.graph_edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dssmr::core

@@ -1,0 +1,164 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dssmr::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(usec(30), [&] { order.push_back(3); });
+  e.schedule(usec(10), [&] { order.push_back(1); });
+  e.schedule(usec(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), usec(30));
+}
+
+TEST(Engine, SameTimeEventsRunInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(usec(5), [&, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  int fired = 0;
+  e.schedule(usec(1), [&] {
+    ++fired;
+    e.schedule(usec(1), [&] {
+      ++fired;
+      e.schedule(usec(1), [&] { ++fired; });
+    });
+  });
+  e.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.now(), usec(3));
+}
+
+TEST(Engine, ZeroDelayRunsAtCurrentTime) {
+  Engine e;
+  Time seen = -1;
+  e.schedule(usec(7), [&] { e.schedule(0, [&] { seen = e.now(); }); });
+  e.run();
+  EXPECT_EQ(seen, usec(7));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const TimerId id = e.schedule(usec(10), [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.events_executed(), 0u);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(0);
+  e.cancel(999);
+  bool fired = false;
+  e.schedule(usec(1), [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilAdvancesClockToTarget) {
+  Engine e;
+  int fired = 0;
+  e.schedule(usec(10), [&] { ++fired; });
+  e.schedule(usec(100), [&] { ++fired; });
+  e.run_until(usec(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), usec(50));
+  e.run_until(usec(200));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), usec(200));
+}
+
+TEST(Engine, RunForIsRelative) {
+  Engine e;
+  e.run_for(usec(25));
+  e.run_for(usec(25));
+  EXPECT_EQ(e.now(), usec(50));
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule(usec(1), [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule(usec(2), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  // Remaining event still pending and runnable.
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StepRunsExactlyOneEvent) {
+  Engine e;
+  int fired = 0;
+  e.schedule(usec(1), [&] { ++fired; });
+  e.schedule(usec(2), [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, StepSkipsCancelledEvents) {
+  Engine e;
+  int fired = 0;
+  const TimerId a = e.schedule(usec(1), [&] { ++fired; });
+  e.schedule(usec(2), [&] { ++fired; });
+  e.cancel(a);
+  EXPECT_TRUE(e.step());  // skips the cancelled one, fires the second
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const TimerId a = e.schedule(usec(1), [] {});
+  e.schedule(usec(2), [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, DeterministicReplay) {
+  auto run = [] {
+    Engine e;
+    std::vector<Time> times;
+    for (int i = 0; i < 100; ++i) {
+      e.schedule(usec((i * 37) % 50), [&, i] {
+        if (i % 3 == 0) e.schedule(usec(i), [&] { times.push_back(e.now()); });
+        times.push_back(e.now());
+      });
+    }
+    e.run();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dssmr::sim

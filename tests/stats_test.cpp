@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "stats/metrics.h"
+#include "stats/timeseries.h"
+
+namespace dssmr::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.percentile(0.5), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  // Small values (< 64) land in exact buckets.
+  EXPECT_EQ(h.percentile(1.0), 63);
+}
+
+TEST(Histogram, PercentileBoundedRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  const auto p50 = static_cast<double>(h.percentile(0.50));
+  const auto p99 = static_cast<double>(h.percentile(0.99));
+  EXPECT_NEAR(p50, 50000.0, 50000.0 * 0.02);
+  EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.02);
+}
+
+TEST(Histogram, MeanAndStddev) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_NEAR(h.stddev(), 8.1649, 0.001);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.record((i * 7919) % 100000);
+  auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, CdfThinningKeepsEnds) {
+  Histogram h;
+  for (int i = 0; i < 100000; ++i) h.record(i);
+  auto cdf = h.cdf(10);
+  EXPECT_LE(cdf.size(), 10u);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(Histogram, RecordNWeights) {
+  Histogram h;
+  h.record_n(5, 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(0.5), 5);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  h.record(1'000'000'000'000LL);
+  EXPECT_EQ(h.count(), 1u);
+  const double rel = std::abs(static_cast<double>(h.percentile(1.0)) - 1e12) / 1e12;
+  EXPECT_LT(rel, 0.02);
+}
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries ts{sec(1)};
+  ts.add(usec(500), 1);
+  ts.add(msec(999), 1);
+  ts.add(sec(1), 5);
+  ts.add(sec(2) + 1, 2);
+  EXPECT_DOUBLE_EQ(ts.bucket(0), 2);
+  EXPECT_DOUBLE_EQ(ts.bucket(1), 5);
+  EXPECT_DOUBLE_EQ(ts.bucket(2), 2);
+  EXPECT_DOUBLE_EQ(ts.bucket(3), 0);
+  EXPECT_DOUBLE_EQ(ts.total(), 9);
+}
+
+TEST(TimeSeries, RateNormalizesPerSecond) {
+  TimeSeries ts{msec(500)};
+  ts.add(0, 10);
+  EXPECT_DOUBLE_EQ(ts.rate(0), 20.0);
+}
+
+TEST(TimeSeries, BucketStart) {
+  TimeSeries ts{sec(2)};
+  EXPECT_EQ(ts.bucket_start(3), sec(6));
+}
+
+TEST(Metrics, CountersDefaultZero) {
+  Metrics m;
+  EXPECT_EQ(m.counter("nope"), 0u);
+  m.inc("a");
+  m.inc("a", 4);
+  EXPECT_EQ(m.counter("a"), 5u);
+}
+
+TEST(Metrics, HistogramsCreateOnUse) {
+  Metrics m;
+  EXPECT_EQ(m.find_histogram("lat"), nullptr);
+  m.histogram("lat").record(7);
+  ASSERT_NE(m.find_histogram("lat"), nullptr);
+  EXPECT_EQ(m.find_histogram("lat")->count(), 1u);
+}
+
+TEST(Metrics, SeriesUseConfiguredWidth) {
+  Metrics m{msec(100)};
+  m.series("tput").add(msec(150), 1);
+  EXPECT_DOUBLE_EQ(m.series("tput").bucket(1), 1);
+}
+
+TEST(Metrics, ResetClearsAll) {
+  Metrics m;
+  m.inc("a");
+  m.histogram("h").record(1);
+  m.series("s").add(0, 1);
+  m.reset();
+  EXPECT_EQ(m.counter("a"), 0u);
+  EXPECT_EQ(m.find_histogram("h"), nullptr);
+  EXPECT_EQ(m.find_series("s"), nullptr);
+}
+
+}  // namespace
+}  // namespace dssmr::stats

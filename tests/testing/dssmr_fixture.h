@@ -1,0 +1,97 @@
+// End-to-end fixture: a full DS-SMR deployment running the KV app.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/assert.h"
+#include "harness/deployment.h"
+#include "smr/kv.h"
+
+namespace dssmr::testing {
+
+inline smr::Command kv_get(VarId v) {
+  smr::Command c;
+  c.op = kv::kGet;
+  c.read_set = {v};
+  return c;
+}
+
+inline smr::Command kv_set(std::vector<VarId> vars, std::string s) {
+  smr::Command c;
+  c.op = kv::kSet;
+  c.write_set = std::move(vars);
+  c.arg = std::move(s);
+  return c;
+}
+
+inline smr::Command kv_add(VarId v, std::int64_t delta) {
+  smr::Command c;
+  c.op = kv::kAdd;
+  c.write_set = {v};
+  c.arg = std::to_string(delta);
+  return c;
+}
+
+inline smr::Command kv_sum(std::vector<VarId> srcs, VarId dst) {
+  smr::Command c;
+  c.op = kv::kSumTo;
+  c.read_set = std::move(srcs);
+  c.write_set = {dst};
+  return c;
+}
+
+inline smr::Command make_create(VarId v) {
+  smr::Command c;
+  c.type = smr::CommandType::kCreate;
+  c.write_set = {v};
+  return c;
+}
+
+inline smr::Command make_delete(VarId v) {
+  smr::Command c;
+  c.type = smr::CommandType::kDelete;
+  c.write_set = {v};
+  return c;
+}
+
+/// Issues `cmd` from client `ci` and runs the simulation until completion.
+inline smr::ReplyCode run_op(harness::Deployment& d, std::size_t ci, smr::Command cmd,
+                             net::MessagePtr* reply_out = nullptr,
+                             Duration max_wait = sec(30)) {
+  bool done = false;
+  smr::ReplyCode rc = smr::ReplyCode::kNok;
+  d.client(ci).issue(std::move(cmd), [&](smr::ReplyCode c, const net::MessagePtr& r) {
+    done = true;
+    rc = c;
+    if (reply_out != nullptr) *reply_out = r;
+  });
+  const Time deadline = d.engine().now() + max_wait;
+  while (!done && d.engine().now() < deadline) {
+    d.engine().run_until(std::min<Time>(d.engine().now() + msec(5), deadline));
+  }
+  DSSMR_ASSERT_MSG(done, "operation did not complete in time");
+  return rc;
+}
+
+inline std::int64_t kv_num(const net::MessagePtr& reply) {
+  return net::msg_as<kv::KvReply>(reply).num;
+}
+
+inline std::string kv_data(const net::MessagePtr& reply) {
+  return net::msg_as<kv::KvReply>(reply).data;
+}
+
+/// Standard small deployment: `parts` partitions x 3 replicas, oracle x 3.
+inline harness::DeploymentConfig small_config(std::size_t parts, core::Strategy strategy,
+                                              std::size_t clients = 4) {
+  harness::DeploymentConfig cfg;
+  cfg.partitions = parts;
+  cfg.clients = clients;
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+}  // namespace dssmr::testing

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_ablation_dest_rule"
+  "../bench/fig_ablation_dest_rule.pdb"
+  "CMakeFiles/fig_ablation_dest_rule.dir/fig_ablation_dest_rule.cpp.o"
+  "CMakeFiles/fig_ablation_dest_rule.dir/fig_ablation_dest_rule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ablation_dest_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_ablation_dest_rule.
+# This may be replaced when dependencies are built.

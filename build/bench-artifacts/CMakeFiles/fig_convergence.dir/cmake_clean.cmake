@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_convergence"
+  "../bench/fig_convergence.pdb"
+  "CMakeFiles/fig_convergence.dir/fig_convergence.cpp.o"
+  "CMakeFiles/fig_convergence.dir/fig_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_dynamic_load"
+  "../bench/fig_dynamic_load.pdb"
+  "CMakeFiles/fig_dynamic_load.dir/fig_dynamic_load.cpp.o"
+  "CMakeFiles/fig_dynamic_load.dir/fig_dynamic_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_dynamic_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

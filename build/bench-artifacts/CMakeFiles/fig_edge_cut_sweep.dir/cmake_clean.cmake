@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_edge_cut_sweep"
+  "../bench/fig_edge_cut_sweep.pdb"
+  "CMakeFiles/fig_edge_cut_sweep.dir/fig_edge_cut_sweep.cpp.o"
+  "CMakeFiles/fig_edge_cut_sweep.dir/fig_edge_cut_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_edge_cut_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_latency_cdf"
+  "../bench/fig_latency_cdf.pdb"
+  "CMakeFiles/fig_latency_cdf.dir/fig_latency_cdf.cpp.o"
+  "CMakeFiles/fig_latency_cdf.dir/fig_latency_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_oracle_load"
+  "../bench/fig_oracle_load.pdb"
+  "CMakeFiles/fig_oracle_load.dir/fig_oracle_load.cpp.o"
+  "CMakeFiles/fig_oracle_load.dir/fig_oracle_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_oracle_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_partitioner_scaling"
+  "../bench/fig_partitioner_scaling.pdb"
+  "CMakeFiles/fig_partitioner_scaling.dir/fig_partitioner_scaling.cpp.o"
+  "CMakeFiles/fig_partitioner_scaling.dir/fig_partitioner_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_partitioner_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_throughput_scalability"
+  "../bench/fig_throughput_scalability.pdb"
+  "CMakeFiles/fig_throughput_scalability.dir/fig_throughput_scalability.cpp.o"
+  "CMakeFiles/fig_throughput_scalability.dir/fig_throughput_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_throughput_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_weak_locality"
+  "../bench/fig_weak_locality.pdb"
+  "CMakeFiles/fig_weak_locality.dir/fig_weak_locality.cpp.o"
+  "CMakeFiles/fig_weak_locality.dir/fig_weak_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_weak_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_multicast"
+  "../bench/micro_multicast.pdb"
+  "CMakeFiles/micro_multicast.dir/micro_multicast.cpp.o"
+  "CMakeFiles/micro_multicast.dir/micro_multicast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirper_demo.dir/chirper_demo.cpp.o"
+  "CMakeFiles/chirper_demo.dir/chirper_demo.cpp.o.d"
+  "chirper_demo"
+  "chirper_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirper_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

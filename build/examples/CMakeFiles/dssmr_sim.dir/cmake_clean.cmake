@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssmr_sim.dir/dssmr_sim.cpp.o"
+  "CMakeFiles/dssmr_sim.dir/dssmr_sim.cpp.o.d"
+  "dssmr_sim"
+  "dssmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

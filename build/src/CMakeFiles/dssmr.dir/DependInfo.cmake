@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chirper/chirper.cpp" "src/CMakeFiles/dssmr.dir/chirper/chirper.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/chirper/chirper.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dssmr.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/common/rng.cpp.o.d"
+  "/root/repo/src/consensus/paxos.cpp" "src/CMakeFiles/dssmr.dir/consensus/paxos.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/consensus/paxos.cpp.o.d"
+  "/root/repo/src/core/client_proxy.cpp" "src/CMakeFiles/dssmr.dir/core/client_proxy.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/core/client_proxy.cpp.o.d"
+  "/root/repo/src/core/dynastar_policy.cpp" "src/CMakeFiles/dssmr.dir/core/dynastar_policy.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/core/dynastar_policy.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/CMakeFiles/dssmr.dir/core/oracle.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/core/oracle.cpp.o.d"
+  "/root/repo/src/core/server_proxy.cpp" "src/CMakeFiles/dssmr.dir/core/server_proxy.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/core/server_proxy.cpp.o.d"
+  "/root/repo/src/harness/deployment.cpp" "src/CMakeFiles/dssmr.dir/harness/deployment.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/harness/deployment.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/dssmr.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/lincheck/lincheck.cpp" "src/CMakeFiles/dssmr.dir/lincheck/lincheck.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/lincheck/lincheck.cpp.o.d"
+  "/root/repo/src/multicast/atomic.cpp" "src/CMakeFiles/dssmr.dir/multicast/atomic.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/multicast/atomic.cpp.o.d"
+  "/root/repo/src/multicast/client.cpp" "src/CMakeFiles/dssmr.dir/multicast/client.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/multicast/client.cpp.o.d"
+  "/root/repo/src/multicast/reliable.cpp" "src/CMakeFiles/dssmr.dir/multicast/reliable.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/multicast/reliable.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/dssmr.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/net/network.cpp.o.d"
+  "/root/repo/src/partition/graph.cpp" "src/CMakeFiles/dssmr.dir/partition/graph.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/partition/graph.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/dssmr.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/dssmr.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/smr/command.cpp" "src/CMakeFiles/dssmr.dir/smr/command.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/smr/command.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/dssmr.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/dssmr.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/dssmr.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/workload/chirper_workload.cpp" "src/CMakeFiles/dssmr.dir/workload/chirper_workload.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/workload/chirper_workload.cpp.o.d"
+  "/root/repo/src/workload/holme_kim.cpp" "src/CMakeFiles/dssmr.dir/workload/holme_kim.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/workload/holme_kim.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/dssmr.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/dssmr.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirper_test.dir/chirper_test.cpp.o"
+  "CMakeFiles/chirper_test.dir/chirper_test.cpp.o.d"
+  "chirper_test"
+  "chirper_test.pdb"
+  "chirper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

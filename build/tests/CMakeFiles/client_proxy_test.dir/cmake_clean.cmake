@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_proxy_test.dir/client_proxy_test.cpp.o"
+  "CMakeFiles/client_proxy_test.dir/client_proxy_test.cpp.o.d"
+  "client_proxy_test"
+  "client_proxy_test.pdb"
+  "client_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

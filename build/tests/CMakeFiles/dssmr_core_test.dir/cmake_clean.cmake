@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssmr_core_test.dir/dssmr_core_test.cpp.o"
+  "CMakeFiles/dssmr_core_test.dir/dssmr_core_test.cpp.o.d"
+  "dssmr_core_test"
+  "dssmr_core_test.pdb"
+  "dssmr_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssmr_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

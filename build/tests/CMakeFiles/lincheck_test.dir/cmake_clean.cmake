@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lincheck_test.dir/lincheck_test.cpp.o"
+  "CMakeFiles/lincheck_test.dir/lincheck_test.cpp.o.d"
+  "lincheck_test"
+  "lincheck_test.pdb"
+  "lincheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lincheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_fault_test.dir/partition_fault_test.cpp.o"
+  "CMakeFiles/partition_fault_test.dir/partition_fault_test.cpp.o.d"
+  "partition_fault_test"
+  "partition_fault_test.pdb"
+  "partition_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

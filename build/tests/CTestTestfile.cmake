@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/paxos_test[1]_include.cmake")
+include("/root/repo/build/tests/multicast_test[1]_include.cmake")
+include("/root/repo/build/tests/dssmr_core_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/chirper_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/lincheck_test[1]_include.cmake")
+include("/root/repo/build/tests/smr_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/client_proxy_test[1]_include.cmake")

@@ -1,13 +1,91 @@
-// Shared formatting helpers for the figure-regeneration binaries.
+// Shared helpers for the figure-regeneration binaries: table formatting plus
+// the --json/--trace machine-readable outputs (see EXPERIMENTS.md).
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "stats/run_record.h"
 
 namespace dssmr::bench {
+
+/// Collects one stats::RunRecord per run and writes them on finish().
+///
+/// Flags (shared by every fig_* binary):
+///   --json [path]    write a run-record JSON file (default BENCH_<exp>.json)
+///   --trace [path]   enable event tracing and dump JSON Lines
+///                    (default TRACE_<exp>.jsonl); benches forward
+///                    trace_wanted() into their run configs
+class RunRecordSink {
+ public:
+  RunRecordSink(int argc, char** argv, std::string experiment)
+      : experiment_(std::move(experiment)) {
+    for (int i = 1; i < argc; ++i) {
+      const auto next_or = [&](const std::string& fallback) {
+        if (i + 1 < argc && argv[i + 1][0] != '-') return std::string(argv[++i]);
+        return fallback;
+      };
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json_path_ = next_or("BENCH_" + experiment_ + ".json");
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        trace_path_ = next_or("TRACE_" + experiment_ + ".jsonl");
+      } else {
+        std::fprintf(stderr, "unknown flag %s (supported: --json [path], --trace [path])\n",
+                     argv[i]);
+        bad_args_ = true;
+      }
+    }
+  }
+
+  bool json_enabled() const { return !json_path_.empty(); }
+  /// Benches set ChirperRunConfig::trace (or DeploymentConfig::trace) to this.
+  bool trace_wanted() const { return !trace_path_.empty(); }
+
+  void add(stats::RunRecord record) { records_.push_back(std::move(record)); }
+
+  /// Convenience for the standard chirper runs.
+  void add(const harness::ChirperRunConfig& cfg, const harness::RunResult& r,
+           std::string label = {}) {
+    records_.push_back(harness::make_run_record(cfg, r, std::move(label)));
+  }
+
+  /// Writes the requested outputs; returns the process exit code for main().
+  int finish() {
+    if (bad_args_) return 2;
+    if (!json_path_.empty()) {
+      std::ofstream os(json_path_);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_path_.c_str());
+        return 1;
+      }
+      stats::write_run_records(os, experiment_, records_);
+      std::printf("\nwrote %s (%zu runs)\n", json_path_.c_str(), records_.size());
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n", trace_path_.c_str());
+        return 1;
+      }
+      for (const stats::RunRecord& rec : records_) {
+        rec.metrics.trace().write_jsonl(os, rec.label);
+      }
+      std::printf("wrote %s\n", trace_path_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  std::string experiment_;
+  std::string json_path_;
+  std::string trace_path_;
+  bool bad_args_ = false;
+  std::vector<stats::RunRecord> records_;
+};
 
 inline void heading(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -11,11 +11,12 @@
 // reporting throughput and how skewed the final variable placement is.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using core::DssmrPolicy;
 
+  RunRecordSink sink(argc, argv, "fig_ablation_dest_rule");
   heading("Ablation: DS-SMR move-destination rule (post-only, 4 partitions, 1% cut)");
 
   struct Case {
@@ -42,10 +43,12 @@ int main() {
     cfg.warmup = sec(4);
     cfg.measure = sec(3);
     cfg.seed = 42;
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, c.label);
     print_run_row(c.label, 4, r);
   }
   std::printf("\n(watch the moves column: symmetric rules keep paying moves; the hashed\n"
               " most-held rule converges and stops)\n");
-  return 0;
+  return sink.finish();
 }

@@ -9,13 +9,14 @@
 // the ideal partitioning from the workload graph instead of greedy moves).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using core::Strategy;
   using harness::ChirperRunConfig;
   using harness::Placement;
 
+  RunRecordSink sink(argc, argv, "fig_convergence");
   heading("E4: throughput & moves over time, STRONG locality (0% edge cut), 4 partitions");
 
   struct Case {
@@ -44,7 +45,9 @@ int main() {
     cfg.warmup = 0;
     cfg.measure = sec(12);
     cfg.seed = 42;
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, c.label);
 
     subheading(c.label);
     print_series("tput(cps) ", r.tput_series);
@@ -52,5 +55,5 @@ int main() {
     std::printf("total moves: %llu\n",
                 static_cast<unsigned long long>(r.counter("moves.total")));
   }
-  return 0;
+  return sink.finish();
 }

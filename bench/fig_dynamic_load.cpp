@@ -69,9 +69,10 @@ class GrowingWorkload {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr::bench;
 
+  RunRecordSink sink(argc, argv, "fig_dynamic_load");
   heading("E8: dynamic workload — create users + follow + post, repartition on-line");
 
   for (bool dynastar : {true, false}) {
@@ -85,6 +86,7 @@ int main() {
     dep.oracle.oracle_issues_moves = dynastar;
     dep.node.rmcast_relay = false;
     dep.seed = 42;
+    dep.trace = sink.trace_wanted();
 
     harness::PolicyFactory policy;
     if (dynastar) {
@@ -118,6 +120,17 @@ int main() {
     std::printf("users created: %llu, repartitionings: %llu\n",
                 static_cast<unsigned long long>(d.metrics().counter("oracle.creates")),
                 static_cast<unsigned long long>(d.oracle(0).policy().repartition_count()));
+
+    stats::RunRecord rec;
+    rec.label = dynastar ? "dynastar" : "dssmr";
+    rec.metrics = d.metrics();
+    rec.add_meta("strategy", rec.label);
+    rec.add_meta("partitions", std::to_string(dep.partitions));
+    rec.add_meta("clients", std::to_string(dep.clients));
+    rec.add_meta("seed", std::to_string(dep.seed));
+    rec.add_meta("repartitionings",
+                 std::to_string(d.oracle(0).policy().repartition_count()));
+    sink.add(std::move(rec));
   }
-  return 0;
+  return sink.finish();
 }

@@ -7,13 +7,14 @@
 // partitions; DS-SMR degrades faster than the graph-driven oracle.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using core::Strategy;
   using harness::ChirperRunConfig;
   using harness::Placement;
 
+  RunRecordSink sink(argc, argv, "fig_edge_cut_sweep");
   heading("E6: throughput/latency vs edge-cut percentage");
 
   struct Case {
@@ -46,10 +47,14 @@ int main() {
         cfg.warmup = sec(4);
         cfg.measure = sec(2);
         cfg.seed = 42;
+        cfg.trace = sink.trace_wanted();
         auto r = harness::run_chirper(cfg);
+        sink.add(cfg, r, std::string(c.label) + "/cut" +
+                             std::to_string(static_cast<int>(cut * 100)) + "/p" +
+                             std::to_string(parts));
         print_run_row(c.label, parts, r);
       }
     }
   }
-  return 0;
+  return sink.finish();
 }

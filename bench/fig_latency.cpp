@@ -7,13 +7,14 @@
 // settles near the optimized static scheme.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using core::Strategy;
   using harness::ChirperRunConfig;
   using harness::Placement;
 
+  RunRecordSink sink(argc, argv, "fig_latency");
   heading("E2: Chirper latency (avg / p50 / p95 / p99, microseconds)");
 
   const workload::ChirperMix kMixes[] = {workload::mixes::kPostOnly,
@@ -46,12 +47,15 @@ int main() {
         cfg.warmup = sec(3);
         cfg.measure = sec(3);
         cfg.seed = 42;
+        cfg.trace = sink.trace_wanted();
         auto r = harness::run_chirper(cfg);
+        sink.add(cfg, r, std::string(c.label) + "/" + mix_name(mix) + "/p" +
+                             std::to_string(parts));
         print_run_row(c.label, parts, r);
       }
     }
   }
   std::printf("\n(paper shape: moves and cross-partition coordination dominate the tail;\n"
               " DS-SMR's average approaches the optimized static placement)\n");
-  return 0;
+  return sink.finish();
 }

@@ -6,13 +6,14 @@
 // scheme sits between.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using core::Strategy;
   using harness::ChirperRunConfig;
   using harness::Placement;
 
+  RunRecordSink sink(argc, argv, "fig_latency_cdf");
   heading("E3: Chirper latency CDF, post-only mix, 4 partitions");
 
   struct StrategyCase {
@@ -39,7 +40,9 @@ int main() {
     cfg.warmup = sec(3);
     cfg.measure = sec(3);
     cfg.seed = 42;
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, c.label);
 
     subheading(c.label);
     std::printf("%10s %10s\n", "lat(us)", "cdf");
@@ -47,5 +50,5 @@ int main() {
       std::printf("%10lld %10.4f\n", static_cast<long long>(value), fraction);
     }
   }
-  return 0;
+  return sink.finish();
 }

@@ -27,10 +27,11 @@ dssmr::harness::ChirperRunConfig base_config(std::size_t parts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
 
+  RunRecordSink sink(argc, argv, "fig_oracle_load");
   heading("E7: oracle load and the client location cache");
 
   subheading("(a) cache on vs off, 4 partitions, mixed workload");
@@ -41,7 +42,9 @@ int main() {
     cfg.client_cache = cache;
     cfg.warmup = sec(3);
     cfg.measure = sec(3);
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, cache ? "cache-on" : "cache-off");
     std::printf("%-10s %10.0f %10.0f %12llu %12llu\n", cache ? "on" : "off",
                 r.throughput_cps, r.latency_avg_us,
                 static_cast<unsigned long long>(r.counter("client.consults")),
@@ -51,7 +54,9 @@ int main() {
   subheading("(b) oracle-leader CPU utilization over time (4 partitions)");
   {
     auto cfg = base_config(4);
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, "busy-over-time");
     std::printf("second:   ");
     for (std::size_t i = 0; i < r.oracle_busy_series.size(); ++i) std::printf(" %5zu", i);
     std::printf("\nbusy(%%):  ");
@@ -64,7 +69,9 @@ int main() {
   std::printf("%6s %12s %14s %12s\n", "parts", "tput(cps)", "consults/s", "peak-busy%");
   for (std::size_t parts : {2u, 4u, 8u}) {
     auto cfg = base_config(parts);
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, "parts-" + std::to_string(parts));
     double peak = 0;
     for (double b : r.oracle_busy_series) peak = std::max(peak, b);
     std::printf("%6zu %12.0f %14.0f %12.1f\n", parts, r.throughput_cps,
@@ -72,5 +79,5 @@ int main() {
   }
   std::printf("\n(paper shape: load spikes early, then the cache absorbs consults and the\n"
               " oracle stays far from saturation)\n");
-  return 0;
+  return sink.finish();
 }

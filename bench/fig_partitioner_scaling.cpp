@@ -9,14 +9,16 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "partition/partitioner.h"
 #include "workload/holme_kim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using Clock = std::chrono::steady_clock;
 
+  bench::RunRecordSink sink(argc, argv, "fig_partitioner_scaling");
   std::printf("E9: multilevel partitioner scaling (k = 8)\n");
   std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "vertices", "edges", "build(ms)",
               "part(ms)", "mem(MB)", "cut%%", "hash-cut%%");
@@ -50,6 +52,22 @@ int main() {
 
     std::printf("%10u %12zu %12.1f %12.1f %12.1f %9.2f%% %9.2f%%\n", n, g.edge_count(),
                 build_ms, part_ms, mem_mb, 100.0 * cut, 100.0 * hash_cut);
+
+    // No deployment here, so synthesize a schema-consistent record per size.
+    stats::RunRecord rec;
+    rec.label = "n" + std::to_string(n);
+    rec.add_meta("k", std::to_string(pcfg.k));
+    rec.add_meta("mem_mb", std::to_string(mem_mb));
+    rec.add_meta("cut_fraction", std::to_string(cut));
+    rec.add_meta("hash_cut_fraction", std::to_string(hash_cut));
+    rec.metrics.inc("graph.vertices", n);
+    rec.metrics.inc("graph.edges", g.edge_count());
+    rec.metrics.histogram("partitioner.build_us")
+        .record(static_cast<std::int64_t>(build_ms * 1000.0));
+    rec.metrics.histogram("partitioner.partition_us")
+        .record(static_cast<std::int64_t>(part_ms * 1000.0));
+    rec.metrics.series("partitioner.mem_mb").add(0, mem_mb);
+    sink.add(std::move(rec));
   }
-  return 0;
+  return sink.finish();
 }

@@ -11,13 +11,14 @@
 // users together.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using harness::ChirperRunConfig;
   using harness::Placement;
   using core::Strategy;
 
+  RunRecordSink sink(argc, argv, "fig_throughput_scalability");
   heading("E1: Chirper throughput scalability (paper: DS-SMR vs S-SMR)");
 
   const workload::ChirperMix kMixes[] = {workload::mixes::kTimelineOnly,
@@ -54,7 +55,10 @@ int main() {
         cfg.warmup = sec(3);
         cfg.measure = sec(3);
         cfg.seed = 42;
+        cfg.trace = sink.trace_wanted();
         auto r = harness::run_chirper(cfg);
+        sink.add(cfg, r, std::string(c.label) + "/" + mix_name(mix) + "/p" +
+                             std::to_string(parts));
         print_run_row(c.label, parts, r);
       }
     }
@@ -62,5 +66,5 @@ int main() {
   std::printf("\n(paper shape: near-linear scaling when commands are single-partition;\n"
               " multi-partition commands flatten S-SMR/hash; DS-SMR tracks the\n"
               " optimized static placement once converged)\n");
-  return 0;
+  return sink.finish();
 }

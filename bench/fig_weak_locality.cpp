@@ -10,13 +10,14 @@
 // posts.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dssmr;
   using namespace dssmr::bench;
   using core::Strategy;
   using harness::ChirperRunConfig;
   using harness::Placement;
 
+  RunRecordSink sink(argc, argv, "fig_weak_locality");
   heading("E5: throughput & moves over time, WEAK locality (5% edge cut), 4 partitions");
 
   struct Case {
@@ -45,7 +46,9 @@ int main() {
     cfg.warmup = 0;
     cfg.measure = sec(12);
     cfg.seed = 42;
+    cfg.trace = sink.trace_wanted();
     auto r = harness::run_chirper(cfg);
+    sink.add(cfg, r, c.label);
 
     subheading(c.label);
     print_series("tput(cps) ", r.tput_series);
@@ -55,5 +58,5 @@ int main() {
                 static_cast<unsigned long long>(r.counter("client.retries")),
                 static_cast<unsigned long long>(r.counter("client.fallbacks")));
   }
-  return 0;
+  return sink.finish();
 }

@@ -34,6 +34,7 @@
 #include "common/types.h"
 #include "net/message.h"
 #include "sim/engine.h"
+#include "stats/trace.h"
 
 namespace dssmr::consensus {
 
@@ -172,6 +173,10 @@ class PaxosCore {
   /// silence a node without tearing down the object).
   void halt();
 
+  /// Event trace for leader changes (owned by the deployment's Metrics; may
+  /// stay null for standalone cores).
+  void set_trace(stats::Trace* trace) { trace_ = trace; }
+
  private:
   enum class Role { Follower, Candidate, Leader };
 
@@ -217,6 +222,7 @@ class PaxosCore {
   Callbacks cb_;
   Rng rng_;
   bool halted_ = false;
+  stats::Trace* trace_ = nullptr;
 
   // Acceptor state.
   Ballot promised_ = 0;

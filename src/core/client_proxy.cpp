@@ -13,9 +13,11 @@ using smr::CommandMsg;
 using smr::CommandType;
 using smr::ConsultMsg;
 using smr::HintMsg;
+using smr::MoveResultMsg;
 using smr::ProphecyMsg;
 using smr::ReplyCode;
 using smr::ReplyMsg;
+using stats::TraceEvent;
 
 const char* to_string(Strategy s) {
   switch (s) {
@@ -44,6 +46,12 @@ void ClientProxy::init_client(net::Network& network, const multicast::Directory&
 
 void ClientProxy::bump(const std::string& name) {
   if (metrics_ != nullptr) metrics_->inc(name);
+}
+
+void ClientProxy::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) {
+  if (metrics_ != nullptr) {
+    metrics_->trace().record(e, network().engine().now(), pid().value, id, arg);
+  }
 }
 
 std::optional<GroupId> ClientProxy::cached_location(VarId v) const {
@@ -102,6 +110,7 @@ void ClientProxy::start_attempt() {
 void ClientProxy::do_consult() {
   bump("client.consults");
   const MsgId id = fresh_id();
+  trace(TraceEvent::kConsult, id.value, static_cast<std::int64_t>(cmd_.id.value));
   outstanding_consults_.insert(id.value);
   phase_ = Phase::kConsult;
   amcast_with_id(id, {cfg_.oracle_group}, net::make_msg<ConsultMsg>(id, cmd_));
@@ -118,6 +127,8 @@ void ClientProxy::on_prophecy(const ProphecyMsg& p) {
   outstanding_consults_.clear();
   network().engine().cancel(timeout_);
   timeout_ = 0;
+  trace(TraceEvent::kProphecy, p.consult_id.value,
+        static_cast<std::int64_t>(p.locations.size()));
 
   if (p.code == ReplyCode::kNok) {
     finish(ReplyCode::kNok, nullptr);
@@ -173,6 +184,7 @@ void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sour
   Command move;
   move.type = CommandType::kMove;
   move.id = fresh_id();
+  trace(TraceEvent::kMoveIssued, move.id.value, static_cast<std::int64_t>(dest.value));
   move.write_set = cmd_.vars();
   move.move_sources = sources;
   move.move_dest = dest;
@@ -209,6 +221,7 @@ void ClientProxy::do_fallback() {
   // Termination guarantee: execute as an S-SMR multi-partition command on
   // every partition — no locality check can fail there.
   bump("client.fallbacks");
+  trace(TraceEvent::kFallback, cmd_.id.value, retries_);
   DSSMR_ASSERT(cmd_.type == CommandType::kAccess);
   send_command(cfg_.partitions, Phase::kAwaitFallback);
 }
@@ -224,14 +237,36 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
   if (phase_ == Phase::kIdle || r->cmd_id != awaited_reply_) return;  // stale/duplicate
 
   switch (phase_) {
-    case Phase::kAwaitMove:
-      if (r->code == ReplyCode::kOk) {
-        network().engine().cancel(timeout_);
-        timeout_ = 0;
+    case Phase::kAwaitMove: {
+      network().engine().cancel(timeout_);
+      timeout_ = 0;
+      // Cache exactly what the destination reports as installed: the
+      // destination gives up its claim on variables no source shipped
+      // (a stale mapping), so caching all of cmd_.vars() would poison the
+      // cache with locations the partition knows are wrong.
+      for (VarId v : cmd_.vars()) cache_.erase(v);
+      if (const auto* res = net::msg_cast<MoveResultMsg>(r->app_reply)) {
+        for (VarId v : res->installed) cache_[v] = pending_dest_;
+      } else if (r->code == ReplyCode::kOk) {
         for (VarId v : cmd_.vars()) cache_[v] = pending_dest_;
+      }
+      if (r->code == ReplyCode::kOk) {
         send_command({pending_dest_}, Phase::kAwaitCommand);
+      } else {
+        // Failed move (stale mapping at the destination): same path as a
+        // command retry — without this the timeout replays the identical
+        // move forever and the S-SMR fallback is never reached.
+        bump("client.retries");
+        ++retries_;
+        trace(TraceEvent::kRetry, cmd_.id.value, retries_);
+        if (retries_ > cfg_.max_retries) {
+          do_fallback();
+        } else {
+          do_consult();
+        }
       }
       break;
+    }
 
     case Phase::kAwaitCommand:
       if (r->code == ReplyCode::kRetry) {
@@ -240,6 +275,7 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
         bump("client.retries");
         for (VarId v : cmd_.vars()) cache_.erase(v);
         ++retries_;
+        trace(TraceEvent::kRetry, cmd_.id.value, retries_);
         if (retries_ > cfg_.max_retries) {
           do_fallback();
         } else {

@@ -98,6 +98,7 @@ class ClientProxy : public multicast::ClientNode {
   void finish(smr::ReplyCode code, const net::MessagePtr& app_reply);
   void arm_timeout();
   void bump(const std::string& name);
+  void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
 
   ClientConfig cfg_;
   stats::Metrics* metrics_ = nullptr;

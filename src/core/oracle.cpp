@@ -48,6 +48,13 @@ void OracleNode::bump(const std::string& name) {
   if (metrics_ != nullptr && is_leader()) metrics_->inc(name);
 }
 
+void OracleNode::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) {
+  // Leader-gated like bump(): one trace record per protocol event.
+  if (metrics_ != nullptr && is_leader()) {
+    metrics_->trace().record(e, engine().now(), pid().value, id, arg);
+  }
+}
+
 void OracleNode::account(Duration service) {
   // One series per deployment: only the leader accounts, so the series
   // reflects one oracle replica's CPU, matching the paper's measurement.
@@ -141,8 +148,11 @@ void OracleNode::handle_consult(const multicast::AmcastMessage& m, const Consult
         std::vector<GroupId> move_dests = dests;
         move_dests.push_back(prophecy->dest);
         move_dests.push_back(group());
+        const MsgId move_id = move.id;
         amcast(std::move(move_dests), net::make_msg<CommandMsg>(std::move(move)));
         bump("oracle.moves_issued");
+        trace(stats::TraceEvent::kMoveIssued, move_id.value,
+              static_cast<std::int64_t>(prophecy->dest.value));
         if (metrics_ != nullptr) metrics_->series("moves_ts").add(engine().now());
       }
       prophecy->oracle_moved = config_.oracle_issues_moves;

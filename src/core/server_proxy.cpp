@@ -39,6 +39,13 @@ void PartitionServer::bump(const std::string& name) {
   if (metrics_ != nullptr && is_leader()) metrics_->inc(name);
 }
 
+void PartitionServer::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) {
+  // Leader-gated like bump(): one trace record per protocol event.
+  if (metrics_ != nullptr && is_leader()) {
+    metrics_->trace().record(e, engine().now(), pid().value, id, arg);
+  }
+}
+
 PartitionServer::Coord& PartitionServer::coord(MsgId cmd_id) { return coord_[cmd_id]; }
 
 void PartitionServer::reply_to(ProcessId client, MsgId cmd_id, ReplyCode code,
@@ -259,8 +266,13 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
           [this, vars, client, id = cmd.id] {
             inflight_.erase(id);
             auto it = coord_.find(id);
+            std::vector<VarId> installed;
+            std::size_t failed = 0;
             for (VarId v : vars) {
-              if (store_.contains(v)) continue;  // we already held it
+              if (store_.contains(v)) {  // we already held it
+                installed.push_back(v);
+                continue;
+              }
               std::shared_ptr<const smr::VarValue> val;
               if (it != coord_.end()) {
                 if (auto f = it->second.shipped.find(v); f != it->second.shipped.end()) {
@@ -269,13 +281,28 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
               }
               if (val != nullptr) {
                 store_.put(v, val->clone());
+                installed.push_back(v);
               } else {
                 // No source shipped it: the mapping was stale; give the claim up.
                 owned_.erase(v);
+                ++failed;
               }
             }
             if (it != coord_.end()) coord_.erase(it);
-            reply_to(client, id, ReplyCode::kOk, nullptr, /*cache=*/true);
+            // The reply tells the client which variables really landed here so
+            // it caches only those; a partial install is a failed move and must
+            // go through the client's retry/fallback path, not pretend success.
+            const ReplyCode code = failed == 0 ? ReplyCode::kOk : ReplyCode::kRetry;
+            if (failed == 0) {
+              trace(stats::TraceEvent::kMoveApplied, id.value,
+                    static_cast<std::int64_t>(installed.size()));
+            } else {
+              bump("server.moves_failed");
+              trace(stats::TraceEvent::kMoveFailed, id.value,
+                    static_cast<std::int64_t>(failed));
+            }
+            reply_to(client, id, code, net::make_msg<smr::MoveResultMsg>(std::move(installed)),
+                     /*cache=*/true);
           },
   });
 }

@@ -96,6 +96,7 @@ class PartitionServer : public multicast::GroupNode {
                 net::MessagePtr app_reply, bool cache);
   Coord& coord(MsgId cmd_id);
   void bump(const std::string& name);
+  void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
 
   smr::VariableStore store_;
   std::unordered_set<VarId> owned_;

@@ -17,6 +17,8 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
   DSSMR_ASSERT(config_.replicas_per_partition >= 1);
   DSSMR_ASSERT(config_.oracle_replicas >= 1);
 
+  if (config_.trace) metrics_.trace().enable();
+
   config_.server.oracle_group = GroupId{static_cast<std::uint32_t>(config_.partitions)};
 
   // Register partition replicas: partition i lives in rack i % 2 (two
@@ -49,6 +51,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
       server(p, r).init_partition(network_, directory_, partition_gid(p), config_.node,
                                   app_factory, config_.server, &metrics_,
                                   config_.seed * 7919 + p * 131 + r);
+      server(p, r).set_trace(&metrics_.trace());
     }
   }
   for (std::size_t r = 0; r < config_.oracle_replicas; ++r) {
@@ -56,6 +59,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
     oracles_[r]->init_oracle(network_, directory_, oracle_gid(), config_.node,
                              policy_factory(), partition_gids(), config_.oracle, &metrics_,
                              config_.seed * 104729 + r);
+    oracles_[r]->set_trace(&metrics_.trace());
   }
 
   // Clients, alternating racks.

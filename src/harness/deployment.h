@@ -45,6 +45,10 @@ struct DeploymentConfig {
 
   Duration metrics_bucket = sec(1);
   std::uint64_t seed = 1;
+
+  /// Enables the structured event trace (stats::Trace) for the whole
+  /// deployment; off by default so hot paths only pay the enabled-check.
+  bool trace = false;
 };
 
 class Deployment {

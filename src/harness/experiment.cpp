@@ -111,6 +111,7 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   dep.node.rmcast_relay = cfg.rmcast_relay;
   dep.client_cache = cfg.client_cache;
   dep.seed = cfg.seed;
+  dep.trace = cfg.trace;
   dep.client_hints = cfg.strategy == core::Strategy::kDynaStar;
   dep.oracle.oracle_issues_moves = cfg.strategy == core::Strategy::kDynaStar;
 
@@ -188,7 +189,35 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   // DynaStar moves are oracle-issued; fold them into the same series scale.
   r.counters["moves.total"] =
       r.counter("client.moves") + r.counter("oracle.moves_issued");
+  r.metrics = d.metrics();
+  // The registry's client.latency_us covers the whole run (warmup included);
+  // keep the measurement-window histogram alongside it for run records.
+  r.metrics.histogram("measured.latency_us").merge(r.latency_hist);
   return r;
+}
+
+stats::RunRecord make_run_record(const ChirperRunConfig& cfg, const RunResult& r,
+                                 std::string label) {
+  stats::RunRecord rec;
+  rec.label = label.empty() ? r.label : std::move(label);
+  rec.metrics = r.metrics;
+  rec.add_meta("strategy", to_string(cfg.strategy));
+  rec.add_meta("placement", to_string(cfg.placement));
+  rec.add_meta("partitions", std::to_string(cfg.partitions));
+  rec.add_meta("clients_per_partition", std::to_string(cfg.clients_per_partition));
+  rec.add_meta("replicas_per_partition", std::to_string(cfg.replicas_per_partition));
+  rec.add_meta("seed", std::to_string(cfg.seed));
+  rec.add_meta("warmup_us", std::to_string(cfg.warmup));
+  rec.add_meta("measure_us", std::to_string(cfg.measure));
+  rec.add_meta("client_cache", cfg.client_cache ? "true" : "false");
+  rec.add_meta("placement_edge_cut", std::to_string(r.placement_edge_cut));
+  rec.add_meta("throughput_cps", std::to_string(r.throughput_cps));
+  rec.add_meta("latency_p50_us", std::to_string(r.latency_p50_us));
+  rec.add_meta("latency_p95_us", std::to_string(r.latency_p95_us));
+  rec.add_meta("latency_p99_us", std::to_string(r.latency_p99_us));
+  rec.add_meta("ok", std::to_string(r.ok));
+  rec.add_meta("nok", std::to_string(r.nok));
+  return rec;
 }
 
 }  // namespace dssmr::harness

@@ -13,6 +13,8 @@
 #include "harness/deployment.h"
 #include "smr/command.h"
 #include "stats/histogram.h"
+#include "stats/metrics.h"
+#include "stats/run_record.h"
 #include "workload/chirper_workload.h"
 
 namespace dssmr::harness {
@@ -98,6 +100,10 @@ struct ChirperRunConfig {
   /// Tuned-for-simulation deployment knobs applied by run_chirper.
   std::size_t replicas_per_partition = 2;
   bool rmcast_relay = false;  // crash-free perf runs
+
+  /// Structured event trace (stats::Trace) for the run; the full trace is
+  /// returned in RunResult::metrics and summarized in run records.
+  bool trace = false;
 };
 
 struct RunResult {
@@ -118,6 +124,10 @@ struct RunResult {
   /// Initial placement quality.
   double placement_edge_cut = 0;
   stats::Histogram latency_hist;
+  /// Full end-of-run snapshot of the deployment's metrics registry (all
+  /// counters, histograms, series and the event trace) — the source for
+  /// machine-readable run records.
+  stats::Metrics metrics;
 
   std::uint64_t counter(const std::string& name) const {
     auto it = counters.find(name);
@@ -128,6 +138,13 @@ struct RunResult {
 /// Builds the Chirper deployment for `cfg`, preloads users per the placement,
 /// drives the workload, and extracts the metrics every figure needs.
 RunResult run_chirper(const ChirperRunConfig& cfg);
+
+/// Packages one run as a machine-readable record (--json output): the full
+/// metrics snapshot plus the config knobs and headline results as metadata.
+/// `label` overrides RunResult::label when non-empty (benches usually label
+/// runs with the swept parameter).
+stats::RunRecord make_run_record(const ChirperRunConfig& cfg, const RunResult& r,
+                                 std::string label = {});
 
 /// The social graph + placement used by run_chirper, exposed so benches can
 /// report workload characteristics (edge-cut %, clustering, degree).

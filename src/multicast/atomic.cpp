@@ -189,7 +189,15 @@ void GroupNode::init_group_node(net::Network& network, const Directory& director
                                                   config.paxos, std::move(pcb), seed);
 
   AmcastCore::Callbacks acb;
-  acb.deliver = [this](const AmcastMessage& m) { on_amdeliver(m); };
+  acb.deliver = [this](const AmcastMessage& m) {
+    // Leader-gated so one trace record is emitted per group delivery, not one
+    // per replica (matching the leader-gated metrics counters).
+    if (trace_ != nullptr && paxos_->is_leader()) {
+      trace_->record(stats::TraceEvent::kAmcastDeliver, network_->engine().now(), pid().value,
+                     m.id.value, static_cast<std::int64_t>(m.dests.size()));
+    }
+    on_amdeliver(m);
+  };
   acb.submit_remote = [this](GroupId g, consensus::LogEntry entry) {
     submit_local_or_remote(g, std::move(entry));
   };
@@ -211,6 +219,12 @@ void GroupNode::init_group_node(net::Network& network, const Directory& director
 void GroupNode::start() {
   DSSMR_ASSERT_MSG(paxos_ != nullptr, "init_group_node() not called");
   paxos_->start();
+}
+
+void GroupNode::set_trace(stats::Trace* trace) {
+  DSSMR_ASSERT_MSG(paxos_ != nullptr, "init_group_node() not called");
+  trace_ = trace;
+  paxos_->set_trace(trace);
 }
 
 void GroupNode::halt_node() {

@@ -42,6 +42,7 @@
 #include "multicast/reliable.h"
 #include "net/network.h"
 #include "sim/engine.h"
+#include "stats/trace.h"
 
 namespace dssmr::multicast {
 
@@ -166,6 +167,10 @@ class GroupNode : public net::Actor {
 
   std::uint64_t amcast_delivered() const { return amcast_->delivered_count(); }
 
+  /// Wires the deployment-wide event trace (leader-gated kAmcastDeliver here,
+  /// kLeaderChange in the Paxos core). Call after init_group_node().
+  void set_trace(stats::Trace* trace);
+
  protected:
   /// Atomic delivery hook — same sequence on every group member.
   virtual void on_amdeliver(const AmcastMessage& m) = 0;
@@ -189,6 +194,7 @@ class GroupNode : public net::Actor {
   std::unique_ptr<consensus::PaxosCore> paxos_;
   std::unique_ptr<AmcastCore> amcast_;
   std::unique_ptr<RmcastEngine> rmcast_;
+  stats::Trace* trace_ = nullptr;
   std::uint64_t next_msg_seq_ = 0;
 };
 

@@ -90,6 +90,18 @@ struct ReplyMsg final : net::Message {
   }
 };
 
+/// Move destination -> client: which of the move's variables are actually
+/// installed (held before the move or shipped by a source). Carried as the
+/// move reply's app payload. Variables missing from `installed` hit a stale
+/// mapping — no source shipped them and the destination gave their claim up —
+/// so the client must not cache them at the destination.
+struct MoveResultMsg final : net::Message {
+  std::vector<VarId> installed;
+  explicit MoveResultMsg(std::vector<VarId> v) : installed(std::move(v)) {}
+  const char* type_name() const override { return "smr.move_result"; }
+  std::size_t size_bytes() const override { return 16 + installed.size() * 8; }
+};
+
 // ---- oracle interaction -----------------------------------------------------
 
 /// Client -> oracle: which partitions does `cmd` touch?

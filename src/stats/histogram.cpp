@@ -70,6 +70,10 @@ double Histogram::stddev() const {
 std::int64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // q=0 must be the recorded minimum, not whatever midpoint the first
+  // non-empty bucket happens to clamp to.
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
   const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -91,13 +95,24 @@ std::vector<std::pair<std::int64_t, double>> Histogram::cdf(std::size_t max_poin
     points.emplace_back(std::clamp(bucket_midpoint(i), min_, max_),
                         static_cast<double>(seen) / static_cast<double>(count_));
   }
-  if (points.size() > max_points) {
+  if (points.size() > max_points && max_points > 0) {
+    // Evenly spaced source indices with the last point pinned to the true
+    // maximum. Indices are deduplicated so no point is ever emitted twice.
     std::vector<std::pair<std::int64_t, double>> thinned;
-    const double stride = static_cast<double>(points.size()) / static_cast<double>(max_points);
-    for (std::size_t i = 0; i < max_points; ++i) {
-      thinned.push_back(points[static_cast<std::size_t>(i * stride)]);
+    thinned.reserve(max_points);
+    if (max_points > 1) {
+      const double stride = static_cast<double>(points.size() - 1) /
+                            static_cast<double>(max_points - 1);
+      std::size_t prev = points.size();  // sentinel: no index selected yet
+      for (std::size_t i = 0; i + 1 < max_points; ++i) {
+        const auto idx = static_cast<std::size_t>(static_cast<double>(i) * stride);
+        if (idx != prev && idx + 1 < points.size()) {
+          thinned.push_back(points[idx]);
+          prev = idx;
+        }
+      }
     }
-    thinned.back() = points.back();
+    thinned.push_back(points.back());
     points = std::move(thinned);
   }
   return points;

@@ -1,0 +1,129 @@
+#include "stats/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/assert.h"
+
+namespace dssmr::stats {
+
+std::string json_escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // top-level value
+  DSSMR_ASSERT_MSG(stack_.back() == Scope::kArray, "object member without key()");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  DSSMR_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  DSSMR_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  DSSMR_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "key() outside an object");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  os_ << '"' << json_escaped(k) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escaped(v) << '"';
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+}  // namespace dssmr::stats

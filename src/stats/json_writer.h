@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer (no third-party dependencies).
+//
+// Emits pretty-printed, syntactically valid JSON to any std::ostream. The
+// writer tracks the container stack and inserts commas/indentation itself;
+// callers just interleave key() with value calls. Non-finite doubles are
+// emitted as null so the output always parses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dssmr::stats {
+
+/// `s` with JSON string escaping applied (quotes, backslash, control chars).
+std::string json_escaped(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  /// key + value in one call.
+  template <typename T>
+  void field(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dssmr::stats

@@ -29,6 +29,7 @@ void Metrics::reset() {
   counters_.clear();
   histograms_.clear();
   series_.clear();
+  trace_.clear();
 }
 
 }  // namespace dssmr::stats

@@ -12,6 +12,7 @@
 
 #include "stats/histogram.h"
 #include "stats/timeseries.h"
+#include "stats/trace.h"
 
 namespace dssmr::stats {
 
@@ -30,6 +31,12 @@ class Metrics {
   const TimeSeries* find_series(const std::string& name) const;
 
   const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  const std::map<std::string, TimeSeries>& all_series() const { return series_; }
+
+  /// Deployment-wide event trace; disabled unless Trace::enable() is called.
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
 
   void reset();
 
@@ -38,6 +45,7 @@ class Metrics {
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, TimeSeries> series_;
+  Trace trace_;
 };
 
 }  // namespace dssmr::stats

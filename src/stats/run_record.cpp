@@ -1,0 +1,102 @@
+#include "stats/run_record.h"
+
+#include <ostream>
+
+#include "stats/json_writer.h"
+
+namespace dssmr::stats {
+namespace {
+
+void write_histogram(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("min", h.min());
+  w.field("max", h.max());
+  w.field("mean", h.mean());
+  w.field("stddev", h.stddev());
+  w.field("p50", h.percentile(0.50));
+  w.field("p95", h.percentile(0.95));
+  w.field("p99", h.percentile(0.99));
+  w.key("cdf");
+  w.begin_array();
+  for (const auto& [value, fraction] : h.cdf(64)) {
+    w.begin_array();
+    w.value(value);
+    w.value(fraction);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_series(JsonWriter& w, const TimeSeries& s) {
+  w.begin_object();
+  w.field("bucket_width_us", static_cast<std::int64_t>(s.bucket_width()));
+  w.field("total", s.total());
+  w.key("values");
+  w.begin_array();
+  for (std::size_t i = 0; i < s.bucket_count(); ++i) w.value(s.bucket(i));
+  w.end_array();
+  w.end_object();
+}
+
+void write_trace_summary(JsonWriter& w, const Trace& t) {
+  w.begin_object();
+  w.field("enabled", t.enabled());
+  w.field("recorded", t.records().size());
+  w.field("dropped", t.dropped());
+  w.key("events");
+  w.begin_object();
+  for (std::size_t i = 0; i < kTraceEventTypes; ++i) {
+    const auto e = static_cast<TraceEvent>(i);
+    if (t.count(e) > 0) w.field(to_string(e), t.count(e));
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_records(std::ostream& os, std::string_view experiment,
+                       const std::vector<RunRecord>& runs) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", kRunRecordSchema);
+  w.field("experiment", experiment);
+  w.key("runs");
+  w.begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.field("label", run.label);
+    w.key("meta");
+    w.begin_object();
+    for (const auto& [k, v] : run.meta) w.field(k, v);
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, count] : run.metrics.counters()) w.field(name, count);
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : run.metrics.histograms()) {
+      w.key(name);
+      write_histogram(w, h);
+    }
+    w.end_object();
+    w.key("series");
+    w.begin_object();
+    for (const auto& [name, s] : run.metrics.all_series()) {
+      w.key(name);
+      write_series(w, s);
+    }
+    w.end_object();
+    w.key("trace");
+    write_trace_summary(w, run.metrics.trace());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace dssmr::stats

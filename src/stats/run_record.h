@@ -1,0 +1,39 @@
+// Machine-readable per-run records (schema "dssmr.run_record.v1").
+//
+// Every bench binary can serialize its runs to JSON so the repo's perf
+// trajectory is diffable: counters, histogram summaries (count/min/max/mean/
+// p50/p95/p99 + a thinned CDF), every time series, the trace event counts,
+// and free-form run metadata (strategy, partitions, seed, ...). The format is
+// documented in EXPERIMENTS.md; CI asserts one of these files parses and
+// carries a nonzero client.ops.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/metrics.h"
+
+namespace dssmr::stats {
+
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v1";
+
+struct RunRecord {
+  std::string label;
+  /// Ordered key/value metadata (experiment knobs: strategy, partitions, ...).
+  std::vector<std::pair<std::string, std::string>> meta;
+  /// Snapshot of the deployment's metrics at the end of the run.
+  Metrics metrics;
+
+  void add_meta(std::string key, std::string value) {
+    meta.emplace_back(std::move(key), std::move(value));
+  }
+};
+
+/// Writes `{"schema": ..., "experiment": ..., "runs": [...]}` to `os`.
+void write_run_records(std::ostream& os, std::string_view experiment,
+                       const std::vector<RunRecord>& runs);
+
+}  // namespace dssmr::stats

@@ -1,0 +1,53 @@
+#include "stats/trace.h"
+
+#include <ostream>
+
+#include "stats/json_writer.h"
+
+namespace dssmr::stats {
+
+std::string_view to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kConsult: return "consult";
+    case TraceEvent::kProphecy: return "prophecy";
+    case TraceEvent::kMoveIssued: return "move_issued";
+    case TraceEvent::kMoveApplied: return "move_applied";
+    case TraceEvent::kMoveFailed: return "move_failed";
+    case TraceEvent::kRetry: return "retry";
+    case TraceEvent::kFallback: return "fallback";
+    case TraceEvent::kLeaderChange: return "leader_change";
+    case TraceEvent::kAmcastDeliver: return "amcast_deliver";
+  }
+  return "unknown";
+}
+
+std::uint64_t Trace::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+std::vector<Trace::Record> Trace::select(TraceEvent type) const {
+  std::vector<Record> out;
+  for (const Record& r : records_) {
+    if (r.type == type) out.push_back(r);
+  }
+  return out;
+}
+
+void Trace::clear() {
+  records_.clear();
+  counts_.fill(0);
+  dropped_ = 0;
+}
+
+void Trace::write_jsonl(std::ostream& os, std::string_view run) const {
+  const std::string prefix =
+      run.empty() ? std::string{} : "\"run\":\"" + json_escaped(run) + "\",";
+  for (const Record& r : records_) {
+    os << "{" << prefix << "\"t\":" << r.t << ",\"event\":\"" << to_string(r.type)
+       << "\",\"node\":" << r.node << ",\"id\":" << r.id << ",\"arg\":" << r.arg << "}\n";
+  }
+}
+
+}  // namespace dssmr::stats

@@ -1,0 +1,95 @@
+// Structured event trace for the DS-SMR protocol.
+//
+// Reconfiguration-heavy protocols are hard to debug from aggregate counters
+// alone: the consult -> prophecy -> move -> retry -> fallback dance is a
+// distributed state machine whose failure modes are *sequences*, not totals.
+// The Trace records typed events with virtual timestamps so tests can assert
+// protocol-level properties ("no fallback under strong locality", "a failing
+// move eventually falls back") and runs can be dumped as JSON Lines for
+// offline inspection.
+//
+// Tracing is off by default and every record() call starts with a cheap
+// enabled-check, so instrumented hot paths cost one predictable branch when
+// tracing is disabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dssmr::stats {
+
+enum class TraceEvent : std::uint8_t {
+  kConsult,        // client sent a consult to the oracle
+  kProphecy,       // oracle leader answered a consult
+  kMoveIssued,     // a move command was multicast (client in DS-SMR, oracle in DynaStar)
+  kMoveApplied,    // destination leader installed every requested variable
+  kMoveFailed,     // destination leader gave up >= 1 unshipped variable (stale mapping)
+  kRetry,          // client retried its command (stale cache or failed move)
+  kFallback,       // client fell back to S-SMR all-partition execution
+  kLeaderChange,   // a Paxos replica became leader of its group
+  kAmcastDeliver,  // atomic multicast delivered a message (leader-side)
+};
+
+inline constexpr std::size_t kTraceEventTypes = 9;
+
+std::string_view to_string(TraceEvent e);
+
+class Trace {
+ public:
+  struct Record {
+    Time t = 0;              // virtual timestamp (microseconds)
+    TraceEvent type{};       //
+    std::uint32_t node = 0;  // recording process id
+    std::uint64_t id = 0;    // command / consult / multicast id
+    std::int64_t arg = 0;    // event-specific detail (dest group, retry count, ...)
+  };
+
+  bool enabled() const { return enabled_; }
+  void enable(bool on = true) { enabled_ = on; }
+
+  /// Caps the retained record vector; per-type counts keep accumulating past
+  /// the cap and dropped() reports how many records were discarded.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  void record(TraceEvent type, Time t, std::uint32_t node = 0, std::uint64_t id = 0,
+              std::int64_t arg = 0) {
+    if (!enabled_) return;
+    ++counts_[static_cast<std::size_t>(type)];
+    if (records_.size() < capacity_) {
+      records_.push_back({t, type, node, id, arg});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  std::uint64_t count(TraceEvent type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  std::uint64_t total() const;
+  std::uint64_t dropped() const { return dropped_; }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::vector<Record> select(TraceEvent type) const;
+
+  /// Drops all records and counts; keeps the enabled flag and capacity.
+  void clear();
+
+  /// One JSON object per line: {"t":..,"event":"..","node":..,"id":..,"arg":..}.
+  /// `run` (when non-empty) is added to every line so multi-run dumps can be
+  /// concatenated into one file.
+  void write_jsonl(std::ostream& os, std::string_view run = {}) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, kTraceEventTypes> counts_{};
+  std::vector<Record> records_;
+};
+
+}  // namespace dssmr::stats

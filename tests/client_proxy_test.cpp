@@ -96,6 +96,75 @@ TEST(ClientProxy, SequentialOpsReuseTheProxy) {
   EXPECT_EQ(kv_num(reply), 20);
 }
 
+// Regression: a failed move (non-kOk reply) used to be dropped on the floor in
+// kAwaitMove — the timeout then replayed the identical move id forever, the
+// destination's cached kRetry reply came back forever, and the client never
+// reached the S-SMR fallback. The phantom variable below is known only to the
+// oracle, so every move the oracle prophesies is doomed to a partial install.
+TEST(ClientProxy, FailedMoveRetriesThenFallsBack) {
+  auto cfg = small_config(2, Strategy::kDssmr, 1);
+  cfg.trace = true;
+  auto d = std::make_unique<Deployment>(
+      cfg, kv::kv_app_factory(),
+      [] { return std::make_unique<DssmrPolicy>(DssmrPolicy::DestRule::kMostHeld); });
+  d->preload_var(VarId{1}, d->partition_gid(1), kv::KvValue{7, ""});
+  // Phantom: the oracle believes VarId{5} lives on partition 0, but no
+  // partition actually holds it — a permanently stale mapping.
+  for (std::size_t r = 0; r < cfg.oracle_replicas; ++r) {
+    d->oracle(r).preload(VarId{5}, d->partition_gid(0));
+  }
+  d->start();
+  d->settle();
+
+  bool done = false;
+  smr::ReplyCode rc = ReplyCode::kNok;
+  d->client(0).issue(kv_sum({VarId{1}, VarId{5}}, VarId{1}),
+                     [&](smr::ReplyCode c, const net::MessagePtr&) {
+                       done = true;
+                       rc = c;
+                     });
+  const Time deadline = d->engine().now() + sec(30);
+  while (!done && d->engine().now() < deadline) {
+    d->engine().run_until(std::min<Time>(d->engine().now() + msec(10), deadline));
+  }
+  ASSERT_TRUE(done) << "client wedged replaying a failed move";
+  EXPECT_EQ(rc, ReplyCode::kOk);
+  EXPECT_GE(d->metrics().counter("client.retries"), 1u);
+  EXPECT_EQ(d->metrics().counter("client.fallbacks"), 1u);
+
+  const stats::Trace& trace = d->metrics().trace();
+  EXPECT_GE(trace.count(stats::TraceEvent::kMoveFailed), 1u);
+  EXPECT_GE(trace.count(stats::TraceEvent::kRetry), 1u);
+  EXPECT_EQ(trace.count(stats::TraceEvent::kFallback), 1u);
+}
+
+// Regression: after a move the client used to cache ALL the command's
+// variables at the destination, even though the destination gives up its claim
+// on variables no source shipped. The move reply now carries the installed
+// set, and only that set may enter the cache.
+TEST(ClientProxy, FailedMoveCachesOnlyInstalledVars) {
+  auto cfg = small_config(2, Strategy::kDssmr, 1);
+  cfg.trace = true;
+  cfg.client_max_retries = -1;  // first failed move goes straight to fallback
+  auto d = std::make_unique<Deployment>(
+      cfg, kv::kv_app_factory(),
+      [] { return std::make_unique<DssmrPolicy>(DssmrPolicy::DestRule::kMostHeld); });
+  d->preload_var(VarId{1}, d->partition_gid(1), kv::KvValue{7, ""});
+  for (std::size_t r = 0; r < cfg.oracle_replicas; ++r) {
+    d->oracle(r).preload(VarId{5}, d->partition_gid(0));
+  }
+  d->start();
+  d->settle();
+
+  EXPECT_EQ(run_op(*d, 0, kv_sum({VarId{1}, VarId{5}}, VarId{1})), ReplyCode::kOk);
+  EXPECT_EQ(d->metrics().counter("client.fallbacks"), 1u);
+  EXPECT_GE(d->metrics().trace().count(stats::TraceEvent::kMoveFailed), 1u);
+  // The phantom never landed anywhere: caching it would poison the cache.
+  EXPECT_EQ(d->client(0).cached_location(VarId{5}), std::nullopt);
+  // The real variable did install at the move destination and may be cached.
+  EXPECT_TRUE(d->client(0).cached_location(VarId{1}).has_value());
+}
+
 TEST(ClientProxy, StaticStrategyNeverTouchesTheOracle) {
   auto d = deployment(small_config(2, Strategy::kStaticSsmr));
   for (int i = 0; i < 5; ++i) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <sstream>
 
 namespace dssmr::harness {
 namespace {
@@ -67,12 +68,42 @@ TEST(Experiment, DssmrMovesSubsideOnPartitionableWorkload) {
   cfg.placement = Placement::kMetis;
   cfg.warmup = sec(2);
   cfg.measure = sec(2);
+  cfg.trace = true;
   auto r = run_chirper(cfg);
   const auto& m = r.moves_series;
   ASSERT_GE(m.size(), 4u);
   const double early = m[0] + m[1];
   const double late = m[m.size() - 2] + m[m.size() - 1];
   EXPECT_LT(late, early * 0.5 + 10.0);
+
+  // The event trace agrees with the counters, and under strong locality the
+  // retry budget is never exhausted — the S-SMR fallback must not fire.
+  const stats::Trace& t = r.metrics.trace();
+  EXPECT_GT(t.count(stats::TraceEvent::kConsult), 0u);
+  EXPECT_EQ(t.count(stats::TraceEvent::kConsult), r.counter("client.consults"));
+  EXPECT_EQ(t.count(stats::TraceEvent::kMoveIssued), r.counter("client.moves"));
+  EXPECT_EQ(t.count(stats::TraceEvent::kFallback), 0u);
+}
+
+TEST(Experiment, RunRecordSerializesToJson) {
+  auto cfg = tiny(core::Strategy::kDssmr, 2);
+  cfg.trace = true;
+  auto r = run_chirper(cfg);
+  std::vector<stats::RunRecord> runs;
+  runs.push_back(make_run_record(cfg, r, "tiny"));
+  std::ostringstream os;
+  stats::write_run_records(os, "experiment_test", runs);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\": \"experiment_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"tiny\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"cdf\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.completions\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"move_issued\""), std::string::npos);
 }
 
 TEST(Experiment, ThroughputScalesWithPartitionsOnPartitionableWorkload) {

@@ -1,8 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
 #include "stats/histogram.h"
+#include "stats/json_writer.h"
 #include "stats/metrics.h"
+#include "stats/run_record.h"
 #include "stats/timeseries.h"
+#include "stats/trace.h"
 
 namespace dssmr::stats {
 namespace {
@@ -112,6 +120,46 @@ TEST(Histogram, LargeValues) {
   EXPECT_LT(rel, 0.02);
 }
 
+TEST(Histogram, PercentileExtremesAreExact) {
+  // q=0 and q=1 must return the exact recorded extremes, not the midpoint of
+  // the log bucket they landed in.
+  Histogram h;
+  h.record(1000);
+  h.record(1500);
+  EXPECT_EQ(h.percentile(0.0), 1000);
+  EXPECT_EQ(h.percentile(1.0), 1500);
+}
+
+TEST(Histogram, PercentileExtremesSingleValue) {
+  Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.percentile(0.0), 777);
+  EXPECT_EQ(h.percentile(1.0), 777);
+  EXPECT_EQ(h.percentile(0.5), h.percentile(0.5));  // well-defined in between
+}
+
+TEST(Histogram, ThinnedCdfPointsAreUnique) {
+  Histogram h;
+  for (int i = 0; i < 100000; ++i) h.record(i);
+  auto cdf = h.cdf(10);
+  ASSERT_GE(cdf.size(), 2u);
+  EXPECT_LE(cdf.size(), 10u);
+  // Strictly increasing x — in particular the final point must not be a
+  // duplicate of the stride-sampled point before it.
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i - 1].first, cdf[i].first) << "duplicate/unordered point at " << i;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, ThinnedCdfSinglePoint) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(i);
+  auto cdf = h.cdf(1);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 1.0);  // the kept point is the last one
+}
+
 TEST(TimeSeries, BucketsByTime) {
   TimeSeries ts{sec(1)};
   ts.add(usec(500), 1);
@@ -167,6 +215,143 @@ TEST(Metrics, ResetClearsAll) {
   EXPECT_EQ(m.counter("a"), 0u);
   EXPECT_EQ(m.find_histogram("h"), nullptr);
   EXPECT_EQ(m.find_series("s"), nullptr);
+}
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  std::ostringstream os;
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("name", "run");
+  w.field("n", std::uint64_t{3});
+  w.key("xs");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(2.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n  \"name\": \"run\",\n  \"n\": 3,\n  \"xs\": [\n    1,\n    2.5,\n"
+            "    true,\n    null\n  ]\n}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(json_escaped("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escaped(std::string_view{"\x01", 1}), "\\u0001");
+  std::ostringstream os;
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("k\"ey", "v\nal");
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"k\\\"ey\": \"v\\nal\"\n}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w{os};
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[\n  null,\n  null\n]");
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace t;
+  t.record(TraceEvent::kConsult, 10);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, CountsAndSelect) {
+  Trace t;
+  t.enable();
+  t.record(TraceEvent::kConsult, 10, 1, 100);
+  t.record(TraceEvent::kRetry, 20, 1, 100, 1);
+  t.record(TraceEvent::kRetry, 30, 1, 100, 2);
+  t.record(TraceEvent::kFallback, 40, 1, 100, 2);
+  EXPECT_EQ(t.count(TraceEvent::kRetry), 2u);
+  EXPECT_EQ(t.count(TraceEvent::kFallback), 1u);
+  EXPECT_EQ(t.total(), 4u);
+  auto retries = t.select(TraceEvent::kRetry);
+  ASSERT_EQ(retries.size(), 2u);
+  EXPECT_EQ(retries[0].t, 20);
+  EXPECT_EQ(retries[1].arg, 2);
+}
+
+TEST(Trace, CapacityDropsRecordsButKeepsCounts) {
+  Trace t;
+  t.enable();
+  t.set_capacity(2);
+  for (int i = 0; i < 5; ++i) t.record(TraceEvent::kAmcastDeliver, i);
+  EXPECT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+  EXPECT_EQ(t.count(TraceEvent::kAmcastDeliver), 5u);
+}
+
+TEST(Trace, ClearKeepsEnabledFlag) {
+  Trace t;
+  t.enable();
+  t.record(TraceEvent::kConsult, 1);
+  t.clear();
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.total(), 0u);
+  t.record(TraceEvent::kConsult, 2);
+  EXPECT_EQ(t.total(), 1u);
+}
+
+TEST(Trace, WriteJsonlOneLinePerRecord) {
+  Trace t;
+  t.enable();
+  t.record(TraceEvent::kMoveIssued, 5, 9, 42, 1);
+  t.record(TraceEvent::kMoveFailed, 6, 3, 42, 1);
+  std::ostringstream os;
+  t.write_jsonl(os, "my \"run\"");
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(out.find("\"event\":\"move_issued\""), std::string::npos);
+  EXPECT_NE(out.find("\"event\":\"move_failed\""), std::string::npos);
+  EXPECT_NE(out.find("\"run\":\"my \\\"run\\\"\""), std::string::npos);
+}
+
+TEST(RunRecord, SerializesSyntheticMetrics) {
+  RunRecord rec;
+  rec.label = "case-a";
+  rec.add_meta("partitions", "2");
+  rec.metrics.inc("client.ops", 12);
+  rec.metrics.histogram("lat").record(100);
+  rec.metrics.histogram("lat").record(200);
+  rec.metrics.series("tput").add(0, 3);
+  rec.metrics.trace().enable();
+  rec.metrics.trace().record(TraceEvent::kConsult, 1);
+  std::ostringstream os;
+  write_run_records(os, "unit", {rec});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"case-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"partitions\": \"2\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.ops\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"consult\": 1"), std::string::npos);
+  // Balanced braces/brackets — a cheap structural sanity check.
+  std::int64_t depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
 }
 
 }  // namespace

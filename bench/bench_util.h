@@ -10,16 +10,22 @@
 
 #include "harness/experiment.h"
 #include "stats/run_record.h"
+#include "stats/span_export.h"
 
 namespace dssmr::bench {
 
 /// Collects one stats::RunRecord per run and writes them on finish().
 ///
 /// Flags (shared by every fig_* binary):
-///   --json [path]    write a run-record JSON file (default BENCH_<exp>.json)
-///   --trace [path]   enable event tracing and dump JSON Lines
-///                    (default TRACE_<exp>.jsonl); benches forward
-///                    trace_wanted() into their run configs
+///   --json [path]          write a run-record JSON file (default
+///                          BENCH_<exp>.json)
+///   --trace [path]         enable event tracing and dump JSON Lines
+///                          (default TRACE_<exp>.jsonl); benches forward
+///                          trace_wanted() into their run configs
+///   --trace-chrome [path]  enable span tracing and write a Chrome
+///                          trace_event file (default CHROME_<exp>.json) for
+///                          chrome://tracing / Perfetto; benches forward
+///                          spans_wanted() into their run configs
 class RunRecordSink {
  public:
   RunRecordSink(int argc, char** argv, std::string experiment)
@@ -33,8 +39,12 @@ class RunRecordSink {
         json_path_ = next_or("BENCH_" + experiment_ + ".json");
       } else if (std::strcmp(argv[i], "--trace") == 0) {
         trace_path_ = next_or("TRACE_" + experiment_ + ".jsonl");
+      } else if (std::strcmp(argv[i], "--trace-chrome") == 0) {
+        chrome_path_ = next_or("CHROME_" + experiment_ + ".json");
       } else {
-        std::fprintf(stderr, "unknown flag %s (supported: --json [path], --trace [path])\n",
+        std::fprintf(stderr,
+                     "unknown flag %s (supported: --json [path], --trace [path], "
+                     "--trace-chrome [path])\n",
                      argv[i]);
         bad_args_ = true;
       }
@@ -44,6 +54,16 @@ class RunRecordSink {
   bool json_enabled() const { return !json_path_.empty(); }
   /// Benches set ChirperRunConfig::trace (or DeploymentConfig::trace) to this.
   bool trace_wanted() const { return !trace_path_.empty(); }
+  bool chrome_wanted() const { return !chrome_path_.empty(); }
+  /// Benches set ChirperRunConfig::spans (or DeploymentConfig::spans) to
+  /// this. The Chrome export needs spans; the run record's `phases` section
+  /// also appears whenever spans ran, so --trace-chrome enriches --json too.
+  bool spans_wanted() const { return chrome_wanted(); }
+  /// Retained-span cap per run (forwarded to `spans_capacity`): a full sweep
+  /// records millions of spans, and an uncapped Chrome trace would be too
+  /// large for Perfetto (and for CI artifacts). Phase histograms are
+  /// unaffected — only the exported span list is truncated.
+  std::size_t spans_capacity() const { return 1u << 16; }
 
   void add(stats::RunRecord record) { records_.push_back(std::move(record)); }
 
@@ -76,6 +96,19 @@ class RunRecordSink {
       }
       std::printf("wrote %s\n", trace_path_.c_str());
     }
+    if (!chrome_path_.empty()) {
+      std::ofstream os(chrome_path_);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n", chrome_path_.c_str());
+        return 1;
+      }
+      stats::ChromeTraceExport chrome(os);
+      for (const stats::RunRecord& rec : records_) {
+        chrome.add_run(rec.metrics.spans(), rec.label);
+      }
+      chrome.finish();
+      std::printf("wrote %s\n", chrome_path_.c_str());
+    }
     return 0;
   }
 
@@ -83,6 +116,7 @@ class RunRecordSink {
   std::string experiment_;
   std::string json_path_;
   std::string trace_path_;
+  std::string chrome_path_;
   bool bad_args_ = false;
   std::vector<stats::RunRecord> records_;
 };

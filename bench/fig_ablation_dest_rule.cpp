@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
     cfg.measure = sec(3);
     cfg.seed = 42;
     cfg.trace = sink.trace_wanted();
+    cfg.spans = sink.spans_wanted();
+    cfg.spans_capacity = sink.spans_capacity();
     auto r = harness::run_chirper(cfg);
     sink.add(cfg, r, c.label);
     print_run_row(c.label, 4, r);

@@ -87,6 +87,8 @@ int main(int argc, char** argv) {
     dep.node.rmcast_relay = false;
     dep.seed = 42;
     dep.trace = sink.trace_wanted();
+    dep.spans = sink.spans_wanted();
+    dep.spans_capacity = sink.spans_capacity();
 
     harness::PolicyFactory policy;
     if (dynastar) {

@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
     cfg.warmup = sec(3);
     cfg.measure = sec(3);
     cfg.trace = sink.trace_wanted();
+    cfg.spans = sink.spans_wanted();
+    cfg.spans_capacity = sink.spans_capacity();
     auto r = harness::run_chirper(cfg);
     sink.add(cfg, r, cache ? "cache-on" : "cache-off");
     std::printf("%-10s %10.0f %10.0f %12llu %12llu\n", cache ? "on" : "off",
@@ -55,6 +57,8 @@ int main(int argc, char** argv) {
   {
     auto cfg = base_config(4);
     cfg.trace = sink.trace_wanted();
+    cfg.spans = sink.spans_wanted();
+    cfg.spans_capacity = sink.spans_capacity();
     auto r = harness::run_chirper(cfg);
     sink.add(cfg, r, "busy-over-time");
     std::printf("second:   ");
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
   for (std::size_t parts : {2u, 4u, 8u}) {
     auto cfg = base_config(parts);
     cfg.trace = sink.trace_wanted();
+    cfg.spans = sink.spans_wanted();
+    cfg.spans_capacity = sink.spans_capacity();
     auto r = harness::run_chirper(cfg);
     sink.add(cfg, r, "parts-" + std::to_string(parts));
     double peak = 0;

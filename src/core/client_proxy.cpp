@@ -17,7 +17,18 @@ using smr::MoveResultMsg;
 using smr::ProphecyMsg;
 using smr::ReplyCode;
 using smr::ReplyMsg;
+using stats::SpanPhase;
 using stats::TraceEvent;
+
+namespace {
+
+/// Sink for counter handles when no metrics object is wired (tests).
+stats::Counter& dummy_counter() {
+  static stats::Counter c;
+  return c;
+}
+
+}  // namespace
 
 const char* to_string(Strategy s) {
   switch (s) {
@@ -36,6 +47,15 @@ void ClientProxy::init_client(net::Network& network, const multicast::Directory&
   init_client_node(network, directory);
   cfg_ = std::move(config);
   metrics_ = metrics;
+  auto handle = [this](const char* name) {
+    return metrics_ != nullptr ? &metrics_->counter_handle(name) : &dummy_counter();
+  };
+  ctr_ = {handle("client.ops"),       handle("client.consults"),
+          handle("client.cache_hits"), handle("client.multi_partition"),
+          handle("client.moves"),     handle("client.retries"),
+          handle("client.fallbacks"), handle("client.timeouts"),
+          handle("client.hints"),     handle("client.ok"),
+          handle("client.nok")};
   DSSMR_ASSERT(!cfg_.partitions.empty());
   if (cfg_.strategy == Strategy::kStaticSsmr) {
     DSSMR_ASSERT_MSG(cfg_.static_map != nullptr, "S-SMR clients need a static map");
@@ -44,8 +64,45 @@ void ClientProxy::init_client(net::Network& network, const multicast::Directory&
   }
 }
 
-void ClientProxy::bump(const std::string& name) {
-  if (metrics_ != nullptr) metrics_->inc(name);
+stats::SpanStore* ClientProxy::spans() {
+  return metrics_ != nullptr ? &metrics_->spans() : nullptr;
+}
+
+void ClientProxy::record_phase(SpanPhase p, Time start, GroupId group, std::int64_t arg) {
+  stats::SpanStore* sp = spans();
+  if (sp == nullptr || !sp->enabled() || root_span_ == 0) return;
+  sp->record({.trace_id = cmd_.trace_id,
+              .parent = root_span_,
+              .phase = p,
+              .start = start,
+              .end = network().engine().now(),
+              .node = pid().value,
+              .group = group,
+              .arg = arg});
+}
+
+void ClientProxy::decompose_reply(const ReplyMsg& r) {
+  stats::SpanStore* sp = spans();
+  if (sp == nullptr || !sp->enabled() || root_span_ == 0) return;
+  // Split [sent_at_, now] with the server's piggybacked timestamps. Clamping
+  // keeps the cut points monotone inside the window, so the four spans tile
+  // it exactly even with odd timing: an all-zero ReplyTiming clamps every cut
+  // up to sent_at_ (the whole window counts as reply), and timestamps from a
+  // retransmitted delivery stay within the first-send window.
+  const Time now = network().engine().now();
+  const Time s = sent_at_;
+  const Time d = std::clamp(r.timing.delivered_at, s, now);
+  const Time es = std::clamp(r.timing.exec_start, d, now);
+  const Time ee = std::clamp(r.timing.exec_end, es, now);
+  const GroupId g = r.from_group;
+  sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kAmcast,
+              .start = s, .end = d, .node = pid().value, .group = g});
+  sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kQueue,
+              .start = d, .end = es, .node = pid().value, .group = g});
+  sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kExecute,
+              .start = es, .end = ee, .node = pid().value, .group = g});
+  sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kReply,
+              .start = ee, .end = now, .node = pid().value, .group = g});
 }
 
 void ClientProxy::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) {
@@ -64,11 +121,17 @@ void ClientProxy::issue(Command cmd, DoneFn done) {
   DSSMR_ASSERT_MSG(phase_ == Phase::kIdle, "one outstanding command per client proxy");
   cmd_ = std::move(cmd);
   cmd_.id = fresh_id();
+  // The command's stable logical id doubles as its trace id: it survives
+  // retries and is copied onto derived moves, so all spans share one tree.
+  cmd_.trace_id = cmd_.id.value;
   done_ = std::move(done);
   retries_ = 0;
   outstanding_consults_.clear();
   issued_at_ = network().engine().now();
-  bump("client.ops");
+  fallback_start_ = 0;
+  stats::SpanStore* sp = spans();
+  root_span_ = (sp != nullptr && sp->enabled()) ? sp->alloc_id() : 0;
+  ctr_.ops->inc();
   start_attempt();
 }
 
@@ -81,7 +144,7 @@ void ClientProxy::start_attempt() {
       if (std::find(dests.begin(), dests.end(), p) == dests.end()) dests.push_back(p);
     }
     DSSMR_ASSERT(!dests.empty());
-    if (dests.size() > 1) bump("client.multi_partition");
+    if (dests.size() > 1) ctr_.multi_partition->inc();
     send_command(std::move(dests), Phase::kAwaitCommand);
     return;
   }
@@ -99,7 +162,7 @@ void ClientProxy::start_attempt() {
       p = it->second;
     }
     if (usable && p != kNoGroup) {
-      bump("client.cache_hits");
+      ctr_.cache_hits->inc();
       send_command({p}, Phase::kAwaitCommand);
       return;
     }
@@ -108,7 +171,16 @@ void ClientProxy::start_attempt() {
 }
 
 void ClientProxy::do_consult() {
-  bump("client.consults");
+  ctr_.consults->inc();
+  const Time now = network().engine().now();
+  if (phase_ == Phase::kAwaitMove && move_start_ != 0) {
+    // A move confirmation timed out and we re-consult from scratch: close the
+    // still-open move window so the time spent waiting stays attributed.
+    // (A failed-move reply closes the window itself before retrying.)
+    record_phase(SpanPhase::kMove, move_start_, pending_dest_, /*arg=*/-1);
+    move_start_ = 0;
+  }
+  if (phase_ != Phase::kConsult) consult_start_ = now;  // retransmissions keep the window
   const MsgId id = fresh_id();
   trace(TraceEvent::kConsult, id.value, static_cast<std::int64_t>(cmd_.id.value));
   outstanding_consults_.insert(id.value);
@@ -129,6 +201,7 @@ void ClientProxy::on_prophecy(const ProphecyMsg& p) {
   timeout_ = 0;
   trace(TraceEvent::kProphecy, p.consult_id.value,
         static_cast<std::int64_t>(p.locations.size()));
+  record_phase(SpanPhase::kConsult, consult_start_, kNoGroup, retries_);
 
   if (p.code == ReplyCode::kNok) {
     finish(ReplyCode::kNok, nullptr);
@@ -158,13 +231,14 @@ void ClientProxy::on_prophecy(const ProphecyMsg& p) {
     return;
   }
 
-  bump("client.multi_partition");
+  ctr_.multi_partition->inc();
   pending_dest_ = p.dest;
   if (p.oracle_moved) {
     // DynaStar: the oracle already multicast the move; wait for the
     // destination's confirmation, which carries the derived move id.
     awaited_reply_ = derive_move_id(p.consult_id);
     phase_ = Phase::kAwaitMove;
+    move_start_ = network().engine().now();
     resend_ = [this] { do_consult(); };  // lost move? re-consult from scratch
     arm_timeout();
     return;
@@ -178,12 +252,13 @@ void ClientProxy::on_prophecy(const ProphecyMsg& p) {
 }
 
 void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sources) {
-  bump("client.moves");
+  ctr_.moves->inc();
   if (metrics_ != nullptr) metrics_->series("moves_ts").add(network().engine().now());
 
   Command move;
   move.type = CommandType::kMove;
   move.id = fresh_id();
+  move.trace_id = cmd_.trace_id;  // the move belongs to the command's trace
   trace(TraceEvent::kMoveIssued, move.id.value, static_cast<std::int64_t>(dest.value));
   move.write_set = cmd_.vars();
   move.move_sources = sources;
@@ -195,6 +270,7 @@ void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sour
 
   awaited_reply_ = move.id;
   phase_ = Phase::kAwaitMove;
+  move_start_ = network().engine().now();
   auto payload = net::make_msg<CommandMsg>(std::move(move));
   amcast_with_id(fresh_id(), dests, payload);
   resend_ = [this, dests, payload] {
@@ -208,6 +284,7 @@ void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sour
 void ClientProxy::send_command(std::vector<GroupId> dests, Phase next_phase) {
   awaited_reply_ = cmd_.id;
   phase_ = next_phase;
+  sent_at_ = network().engine().now();  // first send; retransmissions keep the window
   auto payload = net::make_msg<CommandMsg>(cmd_);
   amcast_with_id(fresh_id(), dests, payload);
   resend_ = [this, dests, payload] {
@@ -220,8 +297,9 @@ void ClientProxy::send_command(std::vector<GroupId> dests, Phase next_phase) {
 void ClientProxy::do_fallback() {
   // Termination guarantee: execute as an S-SMR multi-partition command on
   // every partition — no locality check can fail there.
-  bump("client.fallbacks");
+  ctr_.fallbacks->inc();
   trace(TraceEvent::kFallback, cmd_.id.value, retries_);
+  fallback_start_ = network().engine().now();
   DSSMR_ASSERT(cmd_.type == CommandType::kAccess);
   send_command(cfg_.partitions, Phase::kAwaitFallback);
 }
@@ -240,6 +318,9 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
     case Phase::kAwaitMove: {
       network().engine().cancel(timeout_);
       timeout_ = 0;
+      record_phase(SpanPhase::kMove, move_start_, pending_dest_,
+                   r->code == ReplyCode::kOk ? 0 : 1);
+      move_start_ = 0;  // window closed: the retry's do_consult must not re-close it
       // Cache exactly what the destination reports as installed: the
       // destination gives up its claim on variables no source shipped
       // (a stale mapping), so caching all of cmd_.vars() would poison the
@@ -256,7 +337,7 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
         // Failed move (stale mapping at the destination): same path as a
         // command retry — without this the timeout replays the identical
         // move forever and the S-SMR fallback is never reached.
-        bump("client.retries");
+        ctr_.retries->inc();
         ++retries_;
         trace(TraceEvent::kRetry, cmd_.id.value, retries_);
         if (retries_ > cfg_.max_retries) {
@@ -272,7 +353,8 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
       if (r->code == ReplyCode::kRetry) {
         network().engine().cancel(timeout_);
         timeout_ = 0;
-        bump("client.retries");
+        decompose_reply(*r);
+        ctr_.retries->inc();
         for (VarId v : cmd_.vars()) cache_.erase(v);
         ++retries_;
         trace(TraceEvent::kRetry, cmd_.id.value, retries_);
@@ -282,12 +364,16 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
           do_consult();
         }
       } else {
+        decompose_reply(*r);
         finish(r->code, r->app_reply);
       }
       break;
 
     case Phase::kAwaitFallback:
-      if (r->code != ReplyCode::kRetry) finish(r->code, r->app_reply);
+      if (r->code != ReplyCode::kRetry) {
+        decompose_reply(*r);
+        finish(r->code, r->app_reply);
+      }
       break;
 
     case Phase::kIdle:
@@ -303,15 +389,39 @@ void ClientProxy::finish(ReplyCode code, const net::MessagePtr& app_reply) {
   resend_ = nullptr;
 
   const Time now = network().engine().now();
+  (code == ReplyCode::kOk ? ctr_.ok : ctr_.nok)->inc();
   if (metrics_ != nullptr) {
-    metrics_->inc(code == ReplyCode::kOk ? "client.ok" : "client.nok");
     metrics_->histogram("client.latency_us").record(now - issued_at_);
     metrics_->series("client.completions").add(now);
   }
 
+  stats::SpanStore* sp = spans();
+  if (sp != nullptr && sp->enabled() && root_span_ != 0) {
+    if (fallback_start_ != 0) {
+      // Server-side style view of the S-SMR fallback window; the window's
+      // time is already folded as amcast/queue/execute/reply spans.
+      sp->record({.trace_id = cmd_.trace_id,
+                  .parent = root_span_,
+                  .phase = SpanPhase::kFallback,
+                  .start = fallback_start_,
+                  .end = now,
+                  .node = pid().value,
+                  .arg = retries_},
+                 /*fold=*/false);
+    }
+    sp->record({.trace_id = cmd_.trace_id,
+                .id = root_span_,
+                .phase = SpanPhase::kCommand,
+                .start = issued_at_,
+                .end = now,
+                .node = pid().value,
+                .arg = code == ReplyCode::kOk ? 0 : 1});
+    root_span_ = 0;
+  }
+
   if (cfg_.send_hints && code == ReplyCode::kOk && !cmd_.hint_edges.empty()) {
     amcast({cfg_.oracle_group}, net::make_msg<HintMsg>(cmd_.hint_edges));
-    bump("client.hints");
+    ctr_.hints->inc();
   }
 
   // Reset before invoking the callback: the application typically issues the
@@ -326,7 +436,7 @@ void ClientProxy::arm_timeout() {
   timeout_ = network().engine().schedule(cfg_.op_timeout, [this] {
     timeout_ = 0;
     if (phase_ == Phase::kIdle || !resend_) return;
-    bump("client.timeouts");
+    ctr_.timeouts->inc();
     resend_();
   });
 }

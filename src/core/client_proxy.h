@@ -97,11 +97,35 @@ class ClientProxy : public multicast::ClientNode {
   void do_fallback();
   void finish(smr::ReplyCode code, const net::MessagePtr& app_reply);
   void arm_timeout();
-  void bump(const std::string& name);
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
+
+  /// The deployment span store, or nullptr when metrics are not wired.
+  stats::SpanStore* spans();
+  /// Folds one client-attributed phase span [start, now] into the trace.
+  void record_phase(stats::SpanPhase p, Time start, GroupId group, std::int64_t arg = 0);
+  /// Decomposes the post-send window [sent_at_, now] into amcast / queue /
+  /// execute / reply spans using the server timestamps piggybacked on `r`.
+  void decompose_reply(const smr::ReplyMsg& r);
 
   ClientConfig cfg_;
   stats::Metrics* metrics_ = nullptr;
+
+  /// Interned counter handles (resolved once in init_client); hot-path inc()
+  /// avoids the per-call map lookup of Metrics::inc. Point at a shared dummy
+  /// counter when no metrics sink is wired.
+  struct Counters {
+    stats::Counter* ops;
+    stats::Counter* consults;
+    stats::Counter* cache_hits;
+    stats::Counter* multi_partition;
+    stats::Counter* moves;
+    stats::Counter* retries;
+    stats::Counter* fallbacks;
+    stats::Counter* timeouts;
+    stats::Counter* hints;
+    stats::Counter* ok;
+    stats::Counter* nok;
+  } ctr_{};
 
   Phase phase_ = Phase::kIdle;
   smr::Command cmd_;
@@ -117,6 +141,15 @@ class ClientProxy : public multicast::ClientNode {
   GroupId pending_dest_ = kNoGroup;
   std::function<void()> resend_;
   sim::TimerId timeout_ = 0;
+
+  /// Span bookkeeping. The proxy is in exactly one phase at a time and phase
+  /// transitions are synchronous, so tracking each segment's start suffices
+  /// to attribute every microsecond of [issued_at_, finish] to one phase.
+  std::uint64_t root_span_ = 0;  // pre-allocated root span id (0 = tracing off)
+  Time consult_start_ = 0;
+  Time move_start_ = 0;
+  Time sent_at_ = 0;       // first multicast of the current command window
+  Time fallback_start_ = 0;
 
   std::unordered_map<VarId, GroupId> cache_;
 };

@@ -15,6 +15,7 @@ using smr::HintMsg;
 using smr::ProphecyMsg;
 using smr::ReplyCode;
 using smr::ReplyMsg;
+using smr::ReplyTiming;
 using smr::SignalMsg;
 
 MsgId derive_move_id(MsgId consult_id) {
@@ -141,6 +142,7 @@ void OracleNode::handle_consult(const multicast::AmcastMessage& m, const Consult
         Command move;
         move.type = CommandType::kMove;
         move.id = derive_move_id(consult.consult_id);
+        move.trace_id = cmd.trace_id;  // stays in the consulting command's trace
         move.requester = client;
         move.write_set = cmd.vars();
         move.move_sources = dests;
@@ -161,8 +163,23 @@ void OracleNode::handle_consult(const multicast::AmcastMessage& m, const Consult
     }
   }
 
-  queue_reply_task(config_.consult_service, [this, client, prophecy] {
-    if (is_leader()) send_direct(client, prophecy);
+  const Time delivered = engine().now();
+  queue_reply_task(config_.consult_service, [this, client, prophecy,
+                                             tid = cmd.trace_id, delivered] {
+    if (is_leader()) {
+      // Server-side view of consult handling (delivery -> prophecy sent); the
+      // client's folded kConsult span covers this window end to end.
+      if (metrics_ != nullptr && tid != 0 && metrics_->spans().enabled()) {
+        metrics_->spans().record({.trace_id = tid,
+                                  .phase = stats::SpanPhase::kOracle,
+                                  .start = delivered,
+                                  .end = engine().now(),
+                                  .node = pid().value,
+                                  .group = group()},
+                                 /*fold=*/false);
+      }
+      send_direct(client, prophecy);
+    }
   });
 }
 
@@ -172,11 +189,13 @@ void OracleNode::handle_create(const multicast::AmcastMessage& m, const Command&
 
   if (const CachedReply* cached = completed_.find(cmd.id)) {
     if (is_leader()) {
-      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group()));
+      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group(), nullptr,
+                                                  cached->timing));
     }
     return;
   }
 
+  const Time delivered = engine().now();
   GroupId target = kNoGroup;
   for (GroupId g : m.dests) {
     if (g != group()) target = g;
@@ -202,11 +221,14 @@ void OracleNode::handle_create(const multicast::AmcastMessage& m, const Command&
                    : nullptr,
       .service = config_.command_service,
       .run =
-          [this, id = cmd.id, client, outcome] {
+          [this, id = cmd.id, client, outcome, delivered] {
             signals_.erase(id);
-            completed_.put(id, CachedReply{outcome});
+            const Time exec_end = engine().now();
+            const ReplyTiming timing{delivered, exec_end - config_.command_service, exec_end};
+            completed_.put(id, CachedReply{outcome, timing});
             if (is_leader()) {
-              send_direct(client, net::make_msg<ReplyMsg>(id, outcome, group()));
+              send_direct(client,
+                          net::make_msg<ReplyMsg>(id, outcome, group(), nullptr, timing));
             }
           },
   });
@@ -218,11 +240,13 @@ void OracleNode::handle_delete(const multicast::AmcastMessage& m, const Command&
 
   if (const CachedReply* cached = completed_.find(cmd.id)) {
     if (is_leader()) {
-      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group()));
+      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group(), nullptr,
+                                                  cached->timing));
     }
     return;
   }
 
+  const Time delivered = engine().now();
   GroupId target = kNoGroup;
   for (GroupId g : m.dests) {
     if (g != group()) target = g;
@@ -241,11 +265,14 @@ void OracleNode::handle_delete(const multicast::AmcastMessage& m, const Command&
                                   : nullptr,
       .service = config_.command_service,
       .run =
-          [this, id = cmd.id, client] {
+          [this, id = cmd.id, client, delivered] {
             signals_.erase(id);
-            completed_.put(id, CachedReply{ReplyCode::kOk});
+            const Time exec_end = engine().now();
+            const ReplyTiming timing{delivered, exec_end - config_.command_service, exec_end};
+            completed_.put(id, CachedReply{ReplyCode::kOk, timing});
             if (is_leader()) {
-              send_direct(client, net::make_msg<ReplyMsg>(id, ReplyCode::kOk, group()));
+              send_direct(client, net::make_msg<ReplyMsg>(id, ReplyCode::kOk, group(),
+                                                          nullptr, timing));
             }
           },
   });

@@ -63,6 +63,7 @@ class OracleNode : public multicast::GroupNode {
  private:
   struct CachedReply {
     smr::ReplyCode code;
+    smr::ReplyTiming timing;
   };
 
   void handle_consult(const multicast::AmcastMessage& m, const smr::ConsultMsg& consult);

@@ -12,8 +12,19 @@ using smr::CommandMsg;
 using smr::CommandType;
 using smr::ReplyCode;
 using smr::ReplyMsg;
+using smr::ReplyTiming;
 using smr::SignalMsg;
 using smr::VarShipMsg;
+using stats::SpanPhase;
+
+namespace {
+
+stats::Counter& dummy_counter() {
+  static stats::Counter c;
+  return c;
+}
+
+}  // namespace
 
 void PartitionServer::init_partition(net::Network& network,
                                      const multicast::Directory& directory, GroupId gid,
@@ -27,6 +38,17 @@ void PartitionServer::init_partition(net::Network& network,
   exec_ = std::make_unique<smr::ExecutionEngine>(network.engine());
   config_ = config;
   metrics_ = metrics;
+  auto handle = [this](const char* name) {
+    return metrics_ != nullptr ? &metrics_->counter_handle(name) : &dummy_counter();
+  };
+  ctr_ = {handle("server.retries_issued"),
+          handle("server.single_partition_commands"),
+          handle("server.multi_partition_commands"),
+          handle("server.moves_source"),
+          handle("server.moves_dest"),
+          handle("server.moves_failed"),
+          handle("server.creates"),
+          handle("server.deletes")};
 }
 
 void PartitionServer::preload(VarId v, std::unique_ptr<smr::VarValue> value) {
@@ -34,9 +56,24 @@ void PartitionServer::preload(VarId v, std::unique_ptr<smr::VarValue> value) {
   store_.put(v, std::move(value));
 }
 
-void PartitionServer::bump(const std::string& name) {
+void PartitionServer::bump(stats::Counter* c) {
   // Leader-gated so deployment-wide counters are per-event, not per-replica.
-  if (metrics_ != nullptr && is_leader()) metrics_->inc(name);
+  if (is_leader()) c->inc();
+}
+
+void PartitionServer::span(SpanPhase p, std::uint64_t trace_id, Time start, Time end,
+                           std::int64_t arg) {
+  if (metrics_ == nullptr || trace_id == 0 || !is_leader()) return;
+  stats::SpanStore& sp = metrics_->spans();
+  if (!sp.enabled()) return;
+  sp.record({.trace_id = trace_id,
+             .phase = p,
+             .start = start,
+             .end = end,
+             .node = pid().value,
+             .group = group(),
+             .arg = arg},
+            /*fold=*/false);
 }
 
 void PartitionServer::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) {
@@ -49,11 +86,12 @@ void PartitionServer::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t 
 PartitionServer::Coord& PartitionServer::coord(MsgId cmd_id) { return coord_[cmd_id]; }
 
 void PartitionServer::reply_to(ProcessId client, MsgId cmd_id, ReplyCode code,
-                               net::MessagePtr app_reply, bool cache) {
-  if (cache) completed_.put(cmd_id, CachedReply{code, app_reply});
+                               net::MessagePtr app_reply, bool cache, ReplyTiming timing) {
+  if (cache) completed_.put(cmd_id, CachedReply{code, app_reply, timing});
   if (client == kNoProcess) return;
   if (!is_leader()) return;  // a peer replica's leader sends it
-  send_direct(client, net::make_msg<ReplyMsg>(cmd_id, code, group(), std::move(app_reply)));
+  send_direct(client,
+              net::make_msg<ReplyMsg>(cmd_id, code, group(), std::move(app_reply), timing));
 }
 
 void PartitionServer::on_amdeliver(const multicast::AmcastMessage& m) {
@@ -65,8 +103,8 @@ void PartitionServer::on_amdeliver(const multicast::AmcastMessage& m) {
   // Retried command that already completed here: re-send the cached outcome.
   if (const CachedReply* cached = completed_.find(cmd.id)) {
     if (is_leader() && client != kNoProcess) {
-      send_direct(client,
-                  net::make_msg<ReplyMsg>(cmd.id, cached->code, group(), cached->app_reply));
+      send_direct(client, net::make_msg<ReplyMsg>(cmd.id, cached->code, group(),
+                                                  cached->app_reply, cached->timing));
     }
     return;
   }
@@ -99,6 +137,7 @@ void PartitionServer::on_amdeliver(const multicast::AmcastMessage& m) {
 void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
                                             const Command& cmd) {
   const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
+  const Time delivered = engine().now();
 
   // Ownership check at delivery time (the paper's "all variables stored
   // locally?"). Ownership is updated synchronously on delivery of moves, so
@@ -106,43 +145,53 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
   // even though the values are still in flight.
   for (VarId v : cmd.read_set) {
     if (!owned_.contains(v)) {
-      bump("server.retries_issued");
-      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false);
+      bump(ctr_.retries_issued);
+      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false,
+               ReplyTiming{delivered, delivered, delivered});
       return;
     }
   }
   for (VarId v : cmd.write_set) {
     if (!owned_.contains(v)) {
-      bump("server.retries_issued");
-      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false);
+      bump(ctr_.retries_issued);
+      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false,
+               ReplyTiming{delivered, delivered, delivered});
       return;
     }
   }
 
-  bump("server.single_partition_commands");
+  bump(ctr_.single_partition);
   inflight_.insert(cmd.id);
+  const Duration service = app_->service_time(cmd);
   exec_->enqueue(smr::ExecutionEngine::Task{
       .id = cmd.id,
       .on_head = nullptr,
       .ready = nullptr,
-      .service = app_->service_time(cmd),
+      .service = service,
       .run =
-          [this, cmd, client] {
+          [this, cmd, client, delivered, service] {
             inflight_.erase(cmd.id);
+            // run() fires when the service time elapses, i.e. at exec end.
+            const Time exec_end = engine().now();
+            const Time exec_start = exec_end - service;
+            span(SpanPhase::kQueue, cmd.trace_id, delivered, exec_start);
+            span(SpanPhase::kExecute, cmd.trace_id, exec_start, exec_end);
+            const ReplyTiming timing{delivered, exec_start, exec_end};
             // A move ordered between delivery and execution cannot have taken
             // our variables (it would have been ordered before us and already
             // executed), but a *failed* inbound move can leave an owned
             // variable with no value; treat as stale information.
             for (VarId v : cmd.vars()) {
               if (!store_.contains(v)) {
-                bump("server.retries_issued");
-                reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false);
+                bump(ctr_.retries_issued);
+                reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false, timing);
                 return;
               }
             }
             smr::ExecutionView view{store_};
             net::MessagePtr app_reply = app_->execute(cmd, view);
-            reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true);
+            reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true,
+                     timing);
           },
   });
 }
@@ -152,7 +201,8 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
 void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
                                            const Command& cmd) {
   const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
-  bump("server.multi_partition_commands");
+  const Time delivered = engine().now();
+  bump(ctr_.multi_partition);
   inflight_.insert(cmd.id);
 
   std::vector<GroupId> others;
@@ -160,6 +210,7 @@ void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
     if (g != group() && g != config_.oracle_group) others.push_back(g);
   }
 
+  const Duration service = app_->service_time(cmd);
   exec_->enqueue(smr::ExecutionEngine::Task{
       .id = cmd.id,
       .on_head =
@@ -185,10 +236,16 @@ void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
             }
             return true;
           },
-      .service = app_->service_time(cmd),
+      .service = service,
       .run =
-          [this, cmd, client] {
+          [this, cmd, client, delivered, service] {
             inflight_.erase(cmd.id);
+            const Time exec_end = engine().now();
+            const Time exec_start = exec_end - service;
+            // The queue span here includes the wait for peer shipments — the
+            // serialization S-SMR pays for multi-partition commands.
+            span(SpanPhase::kQueue, cmd.trace_id, delivered, exec_start);
+            span(SpanPhase::kExecute, cmd.trace_id, exec_start, exec_end);
             smr::ExecutionView view{store_};
             auto it = coord_.find(cmd.id);
             if (it != coord_.end()) {
@@ -198,7 +255,8 @@ void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
             }
             net::MessagePtr app_reply = app_->execute(cmd, view);
             if (it != coord_.end()) coord_.erase(it);
-            reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true);
+            reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true,
+                     ReplyTiming{delivered, exec_start, exec_end});
           },
   });
 }
@@ -209,6 +267,7 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
   const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
   const bool is_dest = cmd.move_dest == group();
   const std::vector<VarId> vars = cmd.vars();
+  const Time delivered = engine().now();
 
   if (!is_dest) {
     // Source: give up ownership immediately (delivery order defines who owns
@@ -217,16 +276,24 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
     for (VarId v : vars) {
       if (owned_.erase(v) > 0) mine.push_back(v);
     }
-    bump("server.moves_source");
+    bump(ctr_.moves_source);
     inflight_.insert(cmd.id);
+    const Duration service =
+        config_.move_service_per_var * static_cast<Duration>(mine.size() + 1);
     exec_->enqueue(smr::ExecutionEngine::Task{
         .id = cmd.id,
         .on_head = nullptr,
         .ready = nullptr,
-        .service = config_.move_service_per_var * static_cast<Duration>(mine.size() + 1),
+        .service = service,
         .run =
-            [this, mine, dest = cmd.move_dest, id = cmd.id] {
+            [this, mine, dest = cmd.move_dest, id = cmd.id, tid = cmd.trace_id, delivered,
+             service] {
               inflight_.erase(id);
+              const Time exec_end = engine().now();
+              const Time exec_start = exec_end - service;
+              span(SpanPhase::kQueue, tid, delivered, exec_start);
+              span(SpanPhase::kExecute, tid, exec_start, exec_end,
+                   static_cast<std::int64_t>(mine.size()));
               std::vector<std::pair<VarId, std::shared_ptr<const smr::VarValue>>> ship;
               for (VarId v : mine) {
                 if (auto val = store_.take(v); val != nullptr) {
@@ -247,9 +314,11 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
   for (GroupId g : cmd.move_sources) {
     if (g != group()) sources.push_back(g);
   }
-  bump("server.moves_dest");
+  bump(ctr_.moves_dest);
   inflight_.insert(cmd.id);
 
+  const Duration service =
+      config_.move_service_per_var * static_cast<Duration>(vars.size() + 1);
   exec_->enqueue(smr::ExecutionEngine::Task{
       .id = cmd.id,
       .on_head = nullptr,
@@ -261,10 +330,15 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
             }
             return true;
           },
-      .service = config_.move_service_per_var * static_cast<Duration>(vars.size() + 1),
+      .service = service,
       .run =
-          [this, vars, client, id = cmd.id] {
+          [this, vars, client, id = cmd.id, tid = cmd.trace_id, delivered, service] {
             inflight_.erase(id);
+            const Time exec_end = engine().now();
+            const Time exec_start = exec_end - service;
+            span(SpanPhase::kQueue, tid, delivered, exec_start);
+            span(SpanPhase::kExecute, tid, exec_start, exec_end,
+                 static_cast<std::int64_t>(vars.size()));
             auto it = coord_.find(id);
             std::vector<VarId> installed;
             std::size_t failed = 0;
@@ -297,12 +371,12 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
               trace(stats::TraceEvent::kMoveApplied, id.value,
                     static_cast<std::int64_t>(installed.size()));
             } else {
-              bump("server.moves_failed");
+              bump(ctr_.moves_failed);
               trace(stats::TraceEvent::kMoveFailed, id.value,
                     static_cast<std::int64_t>(failed));
             }
             reply_to(client, id, code, net::make_msg<smr::MoveResultMsg>(std::move(installed)),
-                     /*cache=*/true);
+                     /*cache=*/true, ReplyTiming{delivered, exec_start, exec_end});
           },
   });
 }
@@ -320,16 +394,21 @@ void PartitionServer::deliver_create(const multicast::AmcastMessage& m, const Co
     return;
   }
   owned_.insert(v);
-  bump("server.creates");
+  bump(ctr_.creates);
   inflight_.insert(cmd.id);
+  const Time delivered = engine().now();
   exec_->enqueue(smr::ExecutionEngine::Task{
       .id = cmd.id,
       .on_head = nullptr,
       .ready = nullptr,
       .service = config_.create_delete_service,
       .run =
-          [this, v, id = cmd.id] {
+          [this, v, id = cmd.id, tid = cmd.trace_id, delivered] {
             inflight_.erase(id);
+            const Time exec_end = engine().now();
+            const Time exec_start = exec_end - config_.create_delete_service;
+            span(SpanPhase::kQueue, tid, delivered, exec_start);
+            span(SpanPhase::kExecute, tid, exec_start, exec_end);
             if (owned_.contains(v) && !store_.contains(v)) {
               store_.put(v, app_->make_default(v));
             }
@@ -345,16 +424,21 @@ void PartitionServer::deliver_delete(const multicast::AmcastMessage& m, const Co
   DSSMR_ASSERT(cmd.write_set.size() == 1);
   const VarId v = cmd.write_set[0];
   owned_.erase(v);
-  bump("server.deletes");
+  bump(ctr_.deletes);
   inflight_.insert(cmd.id);
+  const Time delivered = engine().now();
   exec_->enqueue(smr::ExecutionEngine::Task{
       .id = cmd.id,
       .on_head = nullptr,
       .ready = nullptr,
       .service = config_.create_delete_service,
       .run =
-          [this, v, id = cmd.id] {
+          [this, v, id = cmd.id, tid = cmd.trace_id, delivered] {
             inflight_.erase(id);
+            const Time exec_end = engine().now();
+            const Time exec_start = exec_end - config_.create_delete_service;
+            span(SpanPhase::kQueue, tid, delivered, exec_start);
+            span(SpanPhase::kExecute, tid, exec_start, exec_end);
             store_.erase(v);
             rmcast({config_.oracle_group}, net::make_msg<SignalMsg>(id, group()));
           },

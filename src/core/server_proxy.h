@@ -84,6 +84,9 @@ class PartitionServer : public multicast::GroupNode {
   struct CachedReply {
     smr::ReplyCode code;
     net::MessagePtr app_reply;
+    /// Timestamps of the original execution; retransmitted replies carry them
+    /// unchanged (the client clamps stale timestamps into its own window).
+    smr::ReplyTiming timing;
   };
 
   void deliver_access_single(const multicast::AmcastMessage& m, const smr::Command& cmd);
@@ -93,10 +96,14 @@ class PartitionServer : public multicast::GroupNode {
   void deliver_delete(const multicast::AmcastMessage& m, const smr::Command& cmd);
 
   void reply_to(ProcessId client, MsgId cmd_id, smr::ReplyCode code,
-                net::MessagePtr app_reply, bool cache);
+                net::MessagePtr app_reply, bool cache, smr::ReplyTiming timing = {});
   Coord& coord(MsgId cmd_id);
-  void bump(const std::string& name);
+  void bump(stats::Counter* c);
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
+  /// Leader-gated server-view span (fold=false: the client attributes this
+  /// time itself from the reply's timestamps).
+  void span(stats::SpanPhase p, std::uint64_t trace_id, Time start, Time end,
+            std::int64_t arg = 0);
 
   smr::VariableStore store_;
   std::unordered_set<VarId> owned_;
@@ -112,6 +119,18 @@ class PartitionServer : public multicast::GroupNode {
   BoundedMap<MsgId, CachedReply> completed_{1 << 15};
   PartitionServerConfig config_;
   stats::Metrics* metrics_ = nullptr;
+
+  /// Interned counter handles (see ClientProxy::Counters).
+  struct Counters {
+    stats::Counter* retries_issued;
+    stats::Counter* single_partition;
+    stats::Counter* multi_partition;
+    stats::Counter* moves_source;
+    stats::Counter* moves_dest;
+    stats::Counter* moves_failed;
+    stats::Counter* creates;
+    stats::Counter* deletes;
+  } ctr_{};
 };
 
 }  // namespace dssmr::core

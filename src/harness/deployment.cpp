@@ -18,6 +18,14 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
   DSSMR_ASSERT(config_.oracle_replicas >= 1);
 
   if (config_.trace) metrics_.trace().enable();
+  if (config_.spans) {
+    metrics_.spans().enable();
+    if (config_.spans_capacity != 0) metrics_.spans().set_capacity(config_.spans_capacity);
+    for (std::size_t p = 0; p < config_.partitions; ++p) {
+      metrics_.spans().set_group_name(partition_gid(p), "partition " + std::to_string(p));
+    }
+    metrics_.spans().set_group_name(oracle_gid(), "oracle");
+  }
 
   config_.server.oracle_group = GroupId{static_cast<std::uint32_t>(config_.partitions)};
 
@@ -52,6 +60,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
                                   app_factory, config_.server, &metrics_,
                                   config_.seed * 7919 + p * 131 + r);
       server(p, r).set_trace(&metrics_.trace());
+      server(p, r).set_spans(&metrics_.spans());
     }
   }
   for (std::size_t r = 0; r < config_.oracle_replicas; ++r) {
@@ -60,6 +69,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
                              policy_factory(), partition_gids(), config_.oracle, &metrics_,
                              config_.seed * 104729 + r);
     oracles_[r]->set_trace(&metrics_.trace());
+    oracles_[r]->set_spans(&metrics_.spans());
   }
 
   // Clients, alternating racks.

@@ -49,6 +49,14 @@ struct DeploymentConfig {
   /// Enables the structured event trace (stats::Trace) for the whole
   /// deployment; off by default so hot paths only pay the enabled-check.
   bool trace = false;
+  /// Enables causal span tracing (stats/span.h): per-command phase latency
+  /// decomposition and Chrome-trace export. Same default-off rationale.
+  bool spans = false;
+  /// Caps the spans retained for export (0 = SpanStore default). Phase
+  /// histograms and counts keep accumulating past the cap, so the run
+  /// record's `phases` section stays complete; only the exported span list
+  /// is truncated (benches cap it to keep Chrome traces loadable).
+  std::size_t spans_capacity = 0;
 };
 
 class Deployment {

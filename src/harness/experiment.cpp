@@ -112,6 +112,8 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   dep.client_cache = cfg.client_cache;
   dep.seed = cfg.seed;
   dep.trace = cfg.trace;
+  dep.spans = cfg.spans;
+  dep.spans_capacity = cfg.spans_capacity;
   dep.client_hints = cfg.strategy == core::Strategy::kDynaStar;
   dep.oracle.oracle_issues_moves = cfg.strategy == core::Strategy::kDynaStar;
 
@@ -166,7 +168,7 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   r.latency_p99_us = r.latency_hist.percentile(0.99);
   r.ok = driver.measured_ok();
   r.nok = driver.measured_nok();
-  r.counters = d.metrics().counters();
+  for (const auto& [name, c] : d.metrics().counters()) r.counters[name] = c.value();
   r.placement_edge_cut = prepared.edge_cut_fraction;
 
   const Time end = d.engine().now();

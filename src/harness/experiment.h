@@ -104,6 +104,13 @@ struct ChirperRunConfig {
   /// Structured event trace (stats::Trace) for the run; the full trace is
   /// returned in RunResult::metrics and summarized in run records.
   bool trace = false;
+  /// Causal span tracing (stats/span.h): phase latency histograms land in the
+  /// run record's `phases` section and the spans can be exported to a Chrome
+  /// trace (--trace-chrome in the benches).
+  bool spans = false;
+  /// Retained-span cap forwarded to DeploymentConfig::spans_capacity
+  /// (0 = SpanStore default). Histograms are unaffected by the cap.
+  std::size_t spans_capacity = 0;
 };
 
 struct RunResult {

@@ -153,11 +153,12 @@ void AmcastCore::try_deliver() {
     if (best == nullptr || !best->final_ts) return;
 
     AmcastMessage msg = *best->msg;
+    const Time stamped_at = best->stamped_at;
     delivered_.insert(best_id);
     if (!msg.single_group()) delivered_ts_.put(best_id, *best->local_ts);
     pending_.erase(best_id);
     ++delivered_count_;
-    cb_.deliver(msg);
+    cb_.deliver(msg, stamped_at);
   }
 }
 
@@ -189,12 +190,28 @@ void GroupNode::init_group_node(net::Network& network, const Directory& director
                                                   config.paxos, std::move(pcb), seed);
 
   AmcastCore::Callbacks acb;
-  acb.deliver = [this](const AmcastMessage& m) {
+  acb.deliver = [this](const AmcastMessage& m, Time stamped_at) {
     // Leader-gated so one trace record is emitted per group delivery, not one
     // per replica (matching the leader-gated metrics counters).
-    if (trace_ != nullptr && paxos_->is_leader()) {
+    const bool leading = paxos_->is_leader();
+    if (trace_ != nullptr && leading) {
       trace_->record(stats::TraceEvent::kAmcastDeliver, network_->engine().now(), pid().value,
                      m.id.value, static_cast<std::int64_t>(m.dests.size()));
+    }
+    if (spans_ != nullptr && spans_->enabled() && leading) {
+      // This group's view of the multicast: stamp -> atomic delivery. The
+      // client folds its own end-to-end amcast phase; these server-side spans
+      // stay unfolded (one per destination group, they would double-count).
+      if (const std::uint64_t tid = m.payload->trace_id(); tid != 0) {
+        spans_->record({.trace_id = tid,
+                        .phase = stats::SpanPhase::kAmcast,
+                        .start = stamped_at,
+                        .end = network_->engine().now(),
+                        .node = pid().value,
+                        .group = gid_,
+                        .arg = static_cast<std::int64_t>(m.dests.size())},
+                       /*fold=*/false);
+      }
     }
     on_amdeliver(m);
   };

@@ -42,6 +42,7 @@
 #include "multicast/reliable.h"
 #include "net/network.h"
 #include "sim/engine.h"
+#include "stats/span.h"
 #include "stats/trace.h"
 
 namespace dssmr::multicast {
@@ -58,8 +59,10 @@ struct TsQuery final : net::Message {
 class AmcastCore {
  public:
   struct Callbacks {
-    /// Atomic delivery, in the group's total order.
-    std::function<void(const AmcastMessage&)> deliver;
+    /// Atomic delivery, in the group's total order. `stamped_at` is when this
+    /// group stamped the message (step 1) — the delivery latency m spent in
+    /// the multicast here is now - stamped_at.
+    std::function<void(const AmcastMessage&, Time stamped_at)> deliver;
     /// Submit `entry` for sequencing in group `g` (leader duty).
     std::function<void(GroupId g, consensus::LogEntry entry)> submit_remote;
     /// Ask the members of group `g` for their timestamp of `mid`.
@@ -171,6 +174,11 @@ class GroupNode : public net::Actor {
   /// kLeaderChange in the Paxos core). Call after init_group_node().
   void set_trace(stats::Trace* trace);
 
+  /// Wires the deployment-wide span store: each traced payload delivered here
+  /// gets a leader-gated kAmcast span covering stamp -> delivery. Call after
+  /// init_group_node().
+  void set_spans(stats::SpanStore* spans) { spans_ = spans; }
+
  protected:
   /// Atomic delivery hook — same sequence on every group member.
   virtual void on_amdeliver(const AmcastMessage& m) = 0;
@@ -195,6 +203,7 @@ class GroupNode : public net::Actor {
   std::unique_ptr<AmcastCore> amcast_;
   std::unique_ptr<RmcastEngine> rmcast_;
   stats::Trace* trace_ = nullptr;
+  stats::SpanStore* spans_ = nullptr;
   std::uint64_t next_msg_seq_ = 0;
 };
 

@@ -6,6 +6,7 @@
 // concrete message structs deriving from Message.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 
@@ -21,6 +22,11 @@ struct Message {
 
   /// Simulated wire size, including headers. Drives the bandwidth model.
   virtual std::size_t size_bytes() const { return 64; }
+
+  /// Causal trace id of the client command this payload belongs to, 0 when
+  /// untraced. Overridden by command-carrying payloads so lower layers (the
+  /// atomic multicast) can attribute spans without parsing SMR vocabulary.
+  virtual std::uint64_t trace_id() const { return 0; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -41,7 +41,9 @@ std::vector<VarId> Command::vars() const {
 }
 
 std::size_t Command::size_bytes() const {
-  return 48 + (read_set.size() + write_set.size()) * 8 + arg.size() +
+  // 48 header bytes + 8 for the trace id (always carried, so the bandwidth
+  // model is identical whether span tracing is enabled or not).
+  return 56 + (read_set.size() + write_set.size()) * 8 + arg.size() +
          move_sources.size() * 4 + hint_edges.size() * 16;
 }
 

@@ -28,6 +28,10 @@ struct Command {
   CommandType type = CommandType::kAccess;
   /// Stable across client retries; servers deduplicate on it.
   MsgId id{};
+  /// Causal trace id (stats/span.h): the root client command's id, set by the
+  /// issuing client proxy and copied onto derived commands (moves), so every
+  /// layer's spans land in the same trace tree. 0 when tracing is off.
+  std::uint64_t trace_id = 0;
   /// Process the reply should go to when it differs from the multicast
   /// submitter (oracle-issued moves are answered to the consulting client).
   ProcessId requester = kNoProcess;
@@ -66,6 +70,7 @@ struct CommandMsg final : net::Message {
   explicit CommandMsg(Command c) : cmd(std::move(c)) {}
   const char* type_name() const override { return "smr.command"; }
   std::size_t size_bytes() const override { return cmd.size_bytes(); }
+  std::uint64_t trace_id() const override { return cmd.trace_id; }
 };
 
 enum class ReplyCode : std::uint8_t {
@@ -76,17 +81,30 @@ enum class ReplyCode : std::uint8_t {
 
 const char* to_string(ReplyCode c);
 
+/// Server-side timestamps piggybacked on replies (Dapper-style annotations):
+/// when the executing group delivered the command, and when execution started
+/// and finished on its simulated CPU. The client proxy uses them to decompose
+/// its post-send wait into amcast / queue / execute / reply span phases.
+/// All-zero when the server predates tracing or answered without executing.
+struct ReplyTiming {
+  Time delivered_at = 0;
+  Time exec_start = 0;
+  Time exec_end = 0;
+};
+
 /// Server -> client reply.
 struct ReplyMsg final : net::Message {
   MsgId cmd_id;
   ReplyCode code;
   GroupId from_group;
   net::MessagePtr app_reply;  // application-level result (may be null)
-  ReplyMsg(MsgId id, ReplyCode c, GroupId g, net::MessagePtr r = nullptr)
-      : cmd_id(id), code(c), from_group(g), app_reply(std::move(r)) {}
+  ReplyTiming timing;
+  ReplyMsg(MsgId id, ReplyCode c, GroupId g, net::MessagePtr r = nullptr,
+           ReplyTiming t = {})
+      : cmd_id(id), code(c), from_group(g), app_reply(std::move(r)), timing(t) {}
   const char* type_name() const override { return "smr.reply"; }
   std::size_t size_bytes() const override {
-    return 32 + (app_reply != nullptr ? app_reply->size_bytes() : 0);
+    return 32 + 24 + (app_reply != nullptr ? app_reply->size_bytes() : 0);
   }
 };
 
@@ -111,6 +129,7 @@ struct ConsultMsg final : net::Message {
   ConsultMsg(MsgId id, Command c) : consult_id(id), cmd(std::move(c)) {}
   const char* type_name() const override { return "oracle.consult"; }
   std::size_t size_bytes() const override { return 16 + cmd.size_bytes(); }
+  std::uint64_t trace_id() const override { return cmd.trace_id; }
 };
 
 /// The oracle's answer (the paper's "prophecy").

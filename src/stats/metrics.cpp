@@ -4,7 +4,7 @@ namespace dssmr::stats {
 
 std::uint64_t Metrics::counter(const std::string& name) const {
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second.value();
 }
 
 const Histogram* Metrics::find_histogram(const std::string& name) const {
@@ -30,6 +30,7 @@ void Metrics::reset() {
   histograms_.clear();
   series_.clear();
   trace_.clear();
+  spans_.clear();
 }
 
 }  // namespace dssmr::stats

@@ -40,6 +40,14 @@ void write_series(JsonWriter& w, const TimeSeries& s) {
   w.end_object();
 }
 
+void write_spans_summary(JsonWriter& w, const SpanStore& s) {
+  w.begin_object();
+  w.field("enabled", s.enabled());
+  w.field("recorded", s.spans().size());
+  w.field("dropped", s.dropped());
+  w.end_object();
+}
+
 void write_trace_summary(JsonWriter& w, const Trace& t) {
   w.begin_object();
   w.field("enabled", t.enabled());
@@ -74,7 +82,7 @@ void write_run_records(std::ostream& os, std::string_view experiment,
     w.end_object();
     w.key("counters");
     w.begin_object();
-    for (const auto& [name, count] : run.metrics.counters()) w.field(name, count);
+    for (const auto& [name, c] : run.metrics.counters()) w.field(name, c.value());
     w.end_object();
     w.key("histograms");
     w.begin_object();
@@ -90,6 +98,24 @@ void write_run_records(std::ostream& os, std::string_view experiment,
       write_series(w, s);
     }
     w.end_object();
+    // v2: per-phase latency histograms from the span store. The client
+    // attributes every microsecond of a command to exactly one phase, so the
+    // per-phase totals (mean * count) sum to the kCommand ("command") total.
+    const SpanStore& spans = run.metrics.spans();
+    if (spans.has_phase_data()) {
+      w.key("phases");
+      w.begin_object();
+      for (std::size_t i = 0; i < kSpanPhases; ++i) {
+        const auto p = static_cast<SpanPhase>(i);
+        const Histogram& h = spans.phase_histogram(p);
+        if (h.count() == 0) continue;
+        w.key(to_string(p));
+        write_histogram(w, h);
+      }
+      w.end_object();
+    }
+    w.key("spans");
+    write_spans_summary(w, spans);
     w.key("trace");
     write_trace_summary(w, run.metrics.trace());
     w.end_object();

@@ -1,11 +1,13 @@
-// Machine-readable per-run records (schema "dssmr.run_record.v1").
+// Machine-readable per-run records (schema "dssmr.run_record.v2").
 //
 // Every bench binary can serialize its runs to JSON so the repo's perf
 // trajectory is diffable: counters, histogram summaries (count/min/max/mean/
 // p50/p95/p99 + a thinned CDF), every time series, the trace event counts,
-// and free-form run metadata (strategy, partitions, seed, ...). The format is
-// documented in EXPERIMENTS.md; CI asserts one of these files parses and
-// carries a nonzero client.ops.
+// span-phase latency histograms (the `phases` section, present when span
+// tracing ran — v2's addition, see stats/span.h), and free-form run metadata
+// (strategy, partitions, seed, ...). The format is documented in
+// EXPERIMENTS.md; CI asserts one of these files parses and carries a nonzero
+// client.ops.
 #pragma once
 
 #include <iosfwd>
@@ -18,7 +20,7 @@
 
 namespace dssmr::stats {
 
-inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v1";
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v2";
 
 struct RunRecord {
   std::string label;

@@ -1,0 +1,180 @@
+// Causal span tracing: per-command latency decomposition as a span tree.
+//
+// Every client command gets a root span carrying a trace id (the command's
+// stable logical id). The layers the command crosses — client proxy, oracle,
+// atomic multicast, partition servers — record child spans with virtual-clock
+// start/end times, so a finished trace is a tree that decomposes the
+// command's end-to-end latency into protocol phases: consult / move / amcast
+// / queue / execute / reply. The DSN 2016 evaluation reasons entirely in
+// these terms (which phases does a command cross?), and every later perf PR
+// is measured with this layer.
+//
+// Two complementary outputs share the store:
+//  * The span list itself — exported to Chrome trace_event JSON
+//    (span_export.h) and queried by tests through SpanQuery ("a retried
+//    command contains >= 2 consult spans").
+//  * Per-phase latency histograms — the client proxy attributes every
+//    microsecond of a command's life to exactly one phase (server timestamps
+//    piggybacked on replies split the post-send window), so the phase
+//    histograms sum to the end-to-end latency exactly. Server-side spans are
+//    recorded with fold=false: they are an additional *view* of time already
+//    attributed by the client, not new latency.
+//
+// Tracing is off by default; record() starts with a cheap enabled-check so
+// instrumented hot paths cost one predictable branch when disabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "stats/histogram.h"
+
+namespace dssmr::stats {
+
+enum class SpanPhase : std::uint8_t {
+  kCommand,   // root: client issue() -> reply handed to the application
+  kConsult,   // client sent a consult -> prophecy received
+  kMove,      // collocation wait: move issued/awaited -> destination confirmed
+  kAmcast,    // command submitted to atomic multicast -> ordered delivery
+  kQueue,     // delivery -> execution start (ownership checks, input waits)
+  kExecute,   // execution occupying the partition's simulated CPU
+  kReply,     // execution end -> reply received by the client
+  kFallback,  // S-SMR fallback window (all-partition multicast -> reply)
+  kOracle,    // oracle-side consult handling (server view, not a client phase)
+  // Add new phases directly above and extend to_string(); see the TraceEvent
+  // sentinel in trace.h for the pattern.
+  kPhaseCount_,
+};
+
+inline constexpr std::size_t kSpanPhases = static_cast<std::size_t>(SpanPhase::kPhaseCount_);
+static_assert(kSpanPhases == static_cast<std::size_t>(SpanPhase::kOracle) + 1,
+              "SpanPhase changed: point this assert at the new last phase and add "
+              "its to_string() case (stats_test checks exhaustiveness)");
+
+std::string_view to_string(SpanPhase p);
+
+/// The client-attributed phases, in decomposition order: for every finished
+/// command, the durations folded under these phases tile [issue, finish], so
+/// their histogram totals sum exactly to the kCommand histogram total.
+/// (kFallback covers a window already decomposed into amcast/queue/execute/
+/// reply and kOracle is a server-side view; both are recorded fold=false.)
+inline constexpr std::array<SpanPhase, 6> kLatencyPhases = {
+    SpanPhase::kConsult, SpanPhase::kMove,    SpanPhase::kAmcast,
+    SpanPhase::kQueue,   SpanPhase::kExecute, SpanPhase::kReply,
+};
+
+struct Span {
+  std::uint64_t trace_id = 0;  // root command id, shared by the whole tree
+  std::uint64_t id = 0;        // unique within one SpanStore
+  std::uint64_t parent = 0;    // 0 = attach to the trace's root span
+  SpanPhase phase{};
+  Time start = 0;
+  Time end = 0;
+  std::uint32_t node = 0;      // recording process id
+  GroupId group = kNoGroup;    // owning group (kNoGroup for client-side spans)
+  std::int64_t arg = 0;        // phase-specific detail (dest group, retry, ...)
+  /// True when this span's duration was folded into the phase histograms —
+  /// i.e. it belongs to the client-attributed latency decomposition. Set by
+  /// SpanStore::record() from its `fold` argument.
+  bool folded = false;
+
+  Duration duration() const { return end - start; }
+};
+
+class SpanStore {
+ public:
+  bool enabled() const { return enabled_; }
+  void enable(bool on = true) { enabled_ = on; }
+
+  /// Caps the retained span vector; per-phase counts and histograms keep
+  /// accumulating past the cap and dropped() reports discarded spans.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  /// Pre-allocates a span id (so a root span recorded at command completion
+  /// can be referenced as `parent` by children recorded earlier).
+  std::uint64_t alloc_id() { return ++last_id_; }
+
+  /// Appends a finished span; assigns an id if `s.id == 0`. `fold` adds the
+  /// duration to the phase histogram — client-attributed decomposition spans
+  /// fold, server-side views pass false to avoid double counting.
+  void record(Span s, bool fold = true) {
+    if (!enabled_) return;
+    ++counts_[static_cast<std::size_t>(s.phase)];
+    s.folded = fold;
+    if (fold) phase_hist_[static_cast<std::size_t>(s.phase)].record(s.duration());
+    if (s.id == 0) s.id = ++last_id_;
+    if (spans_.size() < capacity_) {
+      spans_.push_back(s);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::uint64_t count(SpanPhase p) const { return counts_[static_cast<std::size_t>(p)]; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  const Histogram& phase_histogram(SpanPhase p) const {
+    return phase_hist_[static_cast<std::size_t>(p)];
+  }
+  /// Any phase histogram non-empty? (Gates the run-record `phases` section.)
+  bool has_phase_data() const;
+
+  /// Human-readable group labels for exports ("partition 0", "oracle").
+  void set_group_name(GroupId g, std::string name) { group_names_[g.value] = std::move(name); }
+  const std::map<std::uint32_t, std::string>& group_names() const { return group_names_; }
+
+  /// Drops spans, counts and histograms; keeps enabled, capacity and names.
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 1u << 20;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, kSpanPhases> counts_{};
+  std::array<Histogram, kSpanPhases> phase_hist_{};
+  std::vector<Span> spans_;
+  std::map<std::uint32_t, std::string> group_names_;
+};
+
+/// Read-only trace-analysis API over a SpanStore: tests assert causal
+/// structure with it ("a retried multi-partition command contains >= 2
+/// consult spans and exactly one fallback span").
+class SpanQuery {
+ public:
+  explicit SpanQuery(const SpanStore& store) : store_(store) {}
+
+  /// Distinct trace ids, in first-recorded order.
+  std::vector<std::uint64_t> trace_ids() const;
+
+  /// All spans of one trace, ordered by (start, id).
+  std::vector<const Span*> trace(std::uint64_t trace_id) const;
+
+  /// The trace's root span (phase kCommand), or nullptr if it never finished.
+  const Span* root(std::uint64_t trace_id) const;
+
+  /// Spans of one phase within a trace, ordered by (start, id).
+  std::vector<const Span*> select(std::uint64_t trace_id, SpanPhase p) const;
+  std::size_t count(std::uint64_t trace_id, SpanPhase p) const {
+    return select(trace_id, p).size();
+  }
+
+  /// Children of `parent` within the trace. Spans recorded with parent 0 by
+  /// layers that only know the trace id attach to the root span.
+  std::vector<const Span*> children(std::uint64_t trace_id, std::uint64_t parent) const;
+
+  /// Sum of the trace's client-attributed phase durations (kLatencyPhases);
+  /// equals the root span's duration for a finished command.
+  Duration attributed_total(std::uint64_t trace_id) const;
+
+ private:
+  const SpanStore& store_;
+};
+
+}  // namespace dssmr::stats

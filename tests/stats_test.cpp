@@ -9,6 +9,7 @@
 #include "stats/json_writer.h"
 #include "stats/metrics.h"
 #include "stats/run_record.h"
+#include "stats/span.h"
 #include "stats/timeseries.h"
 #include "stats/trace.h"
 
@@ -317,6 +318,150 @@ TEST(Trace, WriteJsonlOneLinePerRecord) {
   EXPECT_NE(out.find("\"run\":\"my \\\"run\\\"\""), std::string::npos);
 }
 
+// Guards the enum / to_string / sentinel triple: adding a TraceEvent without
+// a to_string case trips this (the static_assert in trace.h catches a stale
+// sentinel at compile time).
+TEST(Trace, ToStringCoversEveryEvent) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kTraceEventTypes; ++i) {
+    const std::string_view name = to_string(static_cast<TraceEvent>(i));
+    EXPECT_NE(name, "unknown") << "TraceEvent " << i << " missing a to_string case";
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kTraceEventTypes) << "duplicate TraceEvent names";
+}
+
+TEST(Span, ToStringCoversEveryPhase) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kSpanPhases; ++i) {
+    const std::string_view name = to_string(static_cast<SpanPhase>(i));
+    EXPECT_NE(name, "unknown") << "SpanPhase " << i << " missing a to_string case";
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kSpanPhases) << "duplicate SpanPhase names";
+}
+
+TEST(Span, DisabledStoreRecordsNothing) {
+  SpanStore s;
+  s.record({.trace_id = 1, .phase = SpanPhase::kConsult, .start = 10, .end = 20});
+  EXPECT_TRUE(s.spans().empty());
+  EXPECT_EQ(s.count(SpanPhase::kConsult), 0u);
+  EXPECT_FALSE(s.has_phase_data());
+}
+
+TEST(Span, FoldControlsPhaseHistograms) {
+  SpanStore s;
+  s.enable();
+  s.record({.trace_id = 1, .phase = SpanPhase::kConsult, .start = 10, .end = 25});
+  s.record({.trace_id = 1, .phase = SpanPhase::kQueue, .start = 30, .end = 50},
+           /*fold=*/false);
+  // Both are counted and retained...
+  EXPECT_EQ(s.count(SpanPhase::kConsult), 1u);
+  EXPECT_EQ(s.count(SpanPhase::kQueue), 1u);
+  ASSERT_EQ(s.spans().size(), 2u);
+  EXPECT_TRUE(s.spans()[0].folded);
+  EXPECT_FALSE(s.spans()[1].folded);
+  // ...but only the folded one lands in the phase histograms.
+  EXPECT_EQ(s.phase_histogram(SpanPhase::kConsult).count(), 1u);
+  EXPECT_EQ(s.phase_histogram(SpanPhase::kConsult).max(), 15);
+  EXPECT_EQ(s.phase_histogram(SpanPhase::kQueue).count(), 0u);
+  EXPECT_TRUE(s.has_phase_data());
+}
+
+TEST(Span, CapacityDropsSpansButKeepsCounts) {
+  SpanStore s;
+  s.enable();
+  s.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    s.record({.trace_id = 1, .phase = SpanPhase::kExecute,
+              .start = Time{0}, .end = Time{10}});
+  }
+  EXPECT_EQ(s.spans().size(), 2u);
+  EXPECT_EQ(s.dropped(), 3u);
+  EXPECT_EQ(s.count(SpanPhase::kExecute), 5u);
+  EXPECT_EQ(s.phase_histogram(SpanPhase::kExecute).count(), 5u);
+}
+
+TEST(Span, ClearKeepsEnabledCapacityAndNames) {
+  SpanStore s;
+  s.enable();
+  s.set_group_name(GroupId{0}, "partition 0");
+  s.record({.trace_id = 1, .phase = SpanPhase::kReply, .start = 1, .end = 2});
+  s.clear();
+  EXPECT_TRUE(s.enabled());
+  EXPECT_TRUE(s.spans().empty());
+  EXPECT_EQ(s.count(SpanPhase::kReply), 0u);
+  EXPECT_FALSE(s.has_phase_data());
+  EXPECT_EQ(s.group_names().at(0), "partition 0");
+}
+
+TEST(SpanQuery, TreeStructureAndSelection) {
+  SpanStore s;
+  s.enable();
+  // Children first, root last (the real recording order: the root span is
+  // recorded at command completion with a pre-allocated id).
+  const std::uint64_t root_id = s.alloc_id();
+  s.record({.trace_id = 7, .parent = root_id, .phase = SpanPhase::kConsult,
+            .start = 10, .end = 30});
+  s.record({.trace_id = 7, .parent = 0, .phase = SpanPhase::kAmcast,
+            .start = 30, .end = 60},
+           /*fold=*/false);  // parent 0: attaches to the root
+  s.record({.trace_id = 7, .parent = root_id, .phase = SpanPhase::kConsult,
+            .start = 5, .end = 9});
+  s.record({.trace_id = 9, .phase = SpanPhase::kConsult, .start = 0, .end = 1});
+  s.record({.trace_id = 7, .id = root_id, .phase = SpanPhase::kCommand,
+            .start = 5, .end = 100});
+
+  SpanQuery q{s};
+  EXPECT_EQ(q.trace_ids(), (std::vector<std::uint64_t>{7, 9}));
+
+  const Span* root = q.root(7);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->id, root_id);
+  EXPECT_EQ(q.root(9), nullptr);   // no kCommand span
+  EXPECT_EQ(q.root(42), nullptr);  // unknown trace
+
+  // trace() and select() are ordered by (start, id).
+  const auto all = q.trace(7);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->start, 5);
+  const auto consults = q.select(7, SpanPhase::kConsult);
+  ASSERT_EQ(consults.size(), 2u);
+  EXPECT_EQ(consults[0]->start, 5);
+  EXPECT_EQ(consults[1]->start, 10);
+  EXPECT_EQ(q.count(7, SpanPhase::kFallback), 0u);
+
+  // Explicit parents and parent-0 spans are both children of the root.
+  EXPECT_EQ(q.children(7, root_id).size(), 3u);
+
+  // Folded non-root spans only: the unfolded amcast view doesn't count.
+  EXPECT_EQ(q.attributed_total(7), Duration{20 + 4});
+}
+
+TEST(Metrics, CounterHandlesAreStableAndShared) {
+  Metrics m;
+  Counter& h = m.counter_handle("client.ops");
+  h.inc();
+  h.inc(2);
+  // The handle and the string API hit the same counter.
+  EXPECT_EQ(m.counter("client.ops"), 3u);
+  m.inc("client.ops");
+  EXPECT_EQ(h.value(), 4u);
+  // Re-interning returns the same object.
+  EXPECT_EQ(&m.counter_handle("client.ops"), &h);
+  // Creating other counters must not invalidate the handle (map nodes are
+  // stable) — written through the old reference, read through a fresh lookup.
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "c";  // built piecewise: "c" + to_string trips a GCC 12
+    name += std::to_string(i);  // -Wrestrict false positive (PR105651)
+    m.counter_handle(name);
+  }
+  h.inc();
+  EXPECT_EQ(m.counter("client.ops"), 5u);
+}
+
 TEST(RunRecord, SerializesSyntheticMetrics) {
   RunRecord rec;
   rec.label = "case-a";
@@ -330,7 +475,7 @@ TEST(RunRecord, SerializesSyntheticMetrics) {
   std::ostringstream os;
   write_run_records(os, "unit", {rec});
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v2\""), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"case-a\""), std::string::npos);
   EXPECT_NE(json.find("\"partitions\": \"2\""), std::string::npos);

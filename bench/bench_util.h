@@ -3,12 +3,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "stats/run_record.h"
 #include "stats/span_export.h"
 
@@ -19,6 +21,10 @@ namespace dssmr::bench {
 /// Flags (shared by every fig_* binary):
 ///   --json [path]          write a run-record JSON file (default
 ///                          BENCH_<exp>.json)
+///   --jobs N               run sweep points on N threads (default 1).
+///                          Results are byte-identical to --jobs 1: each
+///                          simulation is self-contained and output order is
+///                          submission order (see harness/sweep.h)
 ///   --trace [path]         enable event tracing and dump JSON Lines
 ///                          (default TRACE_<exp>.jsonl); benches forward
 ///                          trace_wanted() into their run configs
@@ -37,14 +43,21 @@ class RunRecordSink {
       };
       if (std::strcmp(argv[i], "--json") == 0) {
         json_path_ = next_or("BENCH_" + experiment_ + ".json");
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        const std::string v = next_or("");
+        jobs_ = static_cast<std::size_t>(v.empty() ? 0 : std::atoll(v.c_str()));
+        if (jobs_ == 0) {
+          std::fprintf(stderr, "--jobs needs a positive thread count\n");
+          bad_args_ = true;
+        }
       } else if (std::strcmp(argv[i], "--trace") == 0) {
         trace_path_ = next_or("TRACE_" + experiment_ + ".jsonl");
       } else if (std::strcmp(argv[i], "--trace-chrome") == 0) {
         chrome_path_ = next_or("CHROME_" + experiment_ + ".json");
       } else {
         std::fprintf(stderr,
-                     "unknown flag %s (supported: --json [path], --trace [path], "
-                     "--trace-chrome [path])\n",
+                     "unknown flag %s (supported: --json [path], --jobs N, "
+                     "--trace [path], --trace-chrome [path])\n",
                      argv[i]);
         bad_args_ = true;
       }
@@ -52,6 +65,8 @@ class RunRecordSink {
   }
 
   bool json_enabled() const { return !json_path_.empty(); }
+  /// Sweep-point thread count (--jobs, default 1 = serial).
+  std::size_t jobs() const { return jobs_; }
   /// Benches set ChirperRunConfig::trace (or DeploymentConfig::trace) to this.
   bool trace_wanted() const { return !trace_path_.empty(); }
   bool chrome_wanted() const { return !chrome_path_.empty(); }
@@ -117,9 +132,33 @@ class RunRecordSink {
   std::string json_path_;
   std::string trace_path_;
   std::string chrome_path_;
+  std::size_t jobs_ = 1;
   bool bad_args_ = false;
   std::vector<stats::RunRecord> records_;
 };
+
+/// One sweep entry: the run config plus the label used for the table row and
+/// the run record.
+struct SweepPoint {
+  harness::ChirperRunConfig cfg;
+  std::string label;
+};
+
+/// Runs every point (in parallel when --jobs > 1), records each run in the
+/// sink in submission order, and returns the results positionally matched to
+/// `points`. Callers print their tables from the returned vector, so stdout
+/// and the JSON file are byte-identical whatever the thread count.
+inline std::vector<harness::RunResult> run_points(RunRecordSink& sink,
+                                                  const std::vector<SweepPoint>& points) {
+  std::vector<harness::ChirperRunConfig> cfgs;
+  cfgs.reserve(points.size());
+  for (const SweepPoint& p : points) cfgs.push_back(p.cfg);
+  std::vector<harness::RunResult> results = harness::run_sweep(cfgs, sink.jobs());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sink.add(points[i].cfg, results[i], points[i].label);
+  }
+  return results;
+}
 
 inline void heading(const std::string& title) {
   std::printf("\n================================================================\n");

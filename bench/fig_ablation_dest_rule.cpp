@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
       {DssmrPolicy::DestRule::kLeastLoaded, "least-loaded"},
   };
 
-  print_run_header();
+  std::vector<SweepPoint> points;
   for (const auto& c : kCases) {
     harness::ChirperRunConfig cfg;
     cfg.strategy = core::Strategy::kDssmr;
@@ -46,9 +46,13 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.spans_capacity = sink.spans_capacity();
-    auto r = harness::run_chirper(cfg);
-    sink.add(cfg, r, c.label);
-    print_run_row(c.label, 4, r);
+    points.push_back({cfg, c.label});
+  }
+  const auto results = run_points(sink, points);
+
+  print_run_header();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    print_run_row(points[i].label, 4, results[i]);
   }
   std::printf("\n(watch the moves column: symmetric rules keep paying moves; the hashed\n"
               " most-held rule converges and stops)\n");

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       {Strategy::kDynaStar, Placement::kHash, "DynaStar"},
   };
 
+  std::vector<SweepPoint> points;
   for (const auto& c : kCases) {
     ChirperRunConfig cfg;
     cfg.strategy = c.strategy;
@@ -48,10 +49,13 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.spans_capacity = sink.spans_capacity();
-    auto r = harness::run_chirper(cfg);
-    sink.add(cfg, r, c.label);
+    points.push_back({cfg, c.label});
+  }
+  const auto results = run_points(sink, points);
 
-    subheading(c.label);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    subheading(points[i].label);
     print_series("tput(cps) ", r.tput_series);
     print_series("moves/s   ", r.moves_series);
     std::printf("total moves: %llu\n",

@@ -75,7 +75,19 @@ int main(int argc, char** argv) {
   RunRecordSink sink(argc, argv, "fig_dynamic_load");
   heading("E8: dynamic workload — create users + follow + post, repartition on-line");
 
-  for (bool dynastar : {true, false}) {
+  struct Outcome {
+    std::vector<double> tput, moves;
+    std::uint64_t creates = 0;
+    std::uint64_t repartitionings = 0;
+    stats::RunRecord rec;
+  };
+  const bool kVariants[] = {true, false};
+
+  // Each variant builds its own deployment, so the two runs are independent
+  // and can execute on sweep threads (--jobs 2); outputs are collected by
+  // index and printed afterwards, identical to a serial run.
+  auto outcomes = harness::parallel_map(2, sink.jobs(), [&](std::size_t vi) {
+    const bool dynastar = kVariants[vi];
     harness::DeploymentConfig dep;
     dep.partitions = 4;
     dep.replicas_per_partition = 2;
@@ -109,30 +121,35 @@ int main(int argc, char** argv) {
     harness::ClosedLoopDriver driver{d, [&wl] { return wl.next(); }};
     driver.run(/*warmup=*/0, /*measure=*/sec(12));
 
-    subheading(dynastar ? "DynaStar-style oracle" : "DS-SMR oracle");
-    std::vector<double> tput, moves;
+    Outcome out;
     if (const auto* s = d.metrics().find_series("client.completions"); s != nullptr) {
-      for (std::size_t i = 0; i < 12; ++i) tput.push_back(s->rate(i));
+      for (std::size_t i = 0; i < 12; ++i) out.tput.push_back(s->rate(i));
     }
     if (const auto* s = d.metrics().find_series("moves_ts"); s != nullptr) {
-      for (std::size_t i = 0; i < 12; ++i) moves.push_back(s->rate(i));
+      for (std::size_t i = 0; i < 12; ++i) out.moves.push_back(s->rate(i));
     }
-    print_series("tput(cps) ", tput);
-    print_series("moves/s   ", moves);
-    std::printf("users created: %llu, repartitionings: %llu\n",
-                static_cast<unsigned long long>(d.metrics().counter("oracle.creates")),
-                static_cast<unsigned long long>(d.oracle(0).policy().repartition_count()));
+    out.creates = d.metrics().counter("oracle.creates");
+    out.repartitionings = d.oracle(0).policy().repartition_count();
 
-    stats::RunRecord rec;
-    rec.label = dynastar ? "dynastar" : "dssmr";
-    rec.metrics = d.metrics();
-    rec.add_meta("strategy", rec.label);
-    rec.add_meta("partitions", std::to_string(dep.partitions));
-    rec.add_meta("clients", std::to_string(dep.clients));
-    rec.add_meta("seed", std::to_string(dep.seed));
-    rec.add_meta("repartitionings",
-                 std::to_string(d.oracle(0).policy().repartition_count()));
-    sink.add(std::move(rec));
+    out.rec.label = dynastar ? "dynastar" : "dssmr";
+    out.rec.metrics = d.metrics();
+    out.rec.add_meta("strategy", out.rec.label);
+    out.rec.add_meta("partitions", std::to_string(dep.partitions));
+    out.rec.add_meta("clients", std::to_string(dep.clients));
+    out.rec.add_meta("seed", std::to_string(dep.seed));
+    out.rec.add_meta("repartitionings", std::to_string(out.repartitionings));
+    return out;
+  });
+
+  for (std::size_t vi = 0; vi < 2; ++vi) {
+    Outcome& out = outcomes[vi];
+    subheading(kVariants[vi] ? "DynaStar-style oracle" : "DS-SMR oracle");
+    print_series("tput(cps) ", out.tput);
+    print_series("moves/s   ", out.moves);
+    std::printf("users created: %llu, repartitionings: %llu\n",
+                static_cast<unsigned long long>(out.creates),
+                static_cast<unsigned long long>(out.repartitionings));
+    sink.add(std::move(out.rec));
   }
   return sink.finish();
 }

@@ -28,9 +28,8 @@ int main(int argc, char** argv) {
       {Strategy::kDynaStar, Placement::kHash, "DynaStar"},
   };
 
+  std::vector<SweepPoint> points;
   for (double cut : {0.0, 0.01, 0.05, 0.10}) {
-    subheading("edge cut " + std::to_string(static_cast<int>(cut * 100)) + "%");
-    print_run_header();
     for (std::size_t parts : {2u, 4u, 8u}) {
       for (const auto& c : kCases) {
         ChirperRunConfig cfg;
@@ -50,12 +49,20 @@ int main(int argc, char** argv) {
         cfg.trace = sink.trace_wanted();
         cfg.spans = sink.spans_wanted();
         cfg.spans_capacity = sink.spans_capacity();
-        auto r = harness::run_chirper(cfg);
-        sink.add(cfg, r, std::string(c.label) + "/cut" +
-                             std::to_string(static_cast<int>(cut * 100)) + "/p" +
-                             std::to_string(parts));
-        print_run_row(c.label, parts, r);
+        points.push_back({cfg, std::string(c.label) + "/cut" +
+                                   std::to_string(static_cast<int>(cut * 100)) + "/p" +
+                                   std::to_string(parts)});
       }
+    }
+  }
+  const auto results = run_points(sink, points);
+
+  std::size_t i = 0;
+  for (double cut : {0.0, 0.01, 0.05, 0.10}) {
+    subheading("edge cut " + std::to_string(static_cast<int>(cut * 100)) + "%");
+    print_run_header();
+    for (std::size_t parts : {2u, 4u, 8u}) {
+      for (const auto& c : kCases) print_run_row(c.label, parts, results[i++]);
     }
   }
   return sink.finish();

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       {Strategy::kDssmr, Placement::kHash, "DS-SMR"},
   };
 
+  std::vector<SweepPoint> points;
   for (const auto& c : kCases) {
     ChirperRunConfig cfg;
     cfg.strategy = c.strategy;
@@ -43,12 +44,14 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.spans_capacity = sink.spans_capacity();
-    auto r = harness::run_chirper(cfg);
-    sink.add(cfg, r, c.label);
+    points.push_back({cfg, c.label});
+  }
+  const auto results = run_points(sink, points);
 
-    subheading(c.label);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    subheading(points[i].label);
     std::printf("%10s %10s\n", "lat(us)", "cdf");
-    for (const auto& [value, fraction] : r.latency_hist.cdf(16)) {
+    for (const auto& [value, fraction] : results[i].latency_hist.cdf(16)) {
       std::printf("%10lld %10.4f\n", static_cast<long long>(value), fraction);
     }
   }

@@ -34,9 +34,7 @@ int main(int argc, char** argv) {
   RunRecordSink sink(argc, argv, "fig_oracle_load");
   heading("E7: oracle load and the client location cache");
 
-  subheading("(a) cache on vs off, 4 partitions, mixed workload");
-  std::printf("%-10s %10s %10s %12s %12s\n", "cache", "tput(cps)", "lat(us)", "consults",
-              "cache-hits");
+  std::vector<SweepPoint> points;
   for (bool cache : {true, false}) {
     auto cfg = base_config(4);
     cfg.client_cache = cache;
@@ -45,9 +43,30 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.spans_capacity = sink.spans_capacity();
-    auto r = harness::run_chirper(cfg);
-    sink.add(cfg, r, cache ? "cache-on" : "cache-off");
-    std::printf("%-10s %10.0f %10.0f %12llu %12llu\n", cache ? "on" : "off",
+    points.push_back({cfg, cache ? "cache-on" : "cache-off"});
+  }
+  {
+    auto cfg = base_config(4);
+    cfg.trace = sink.trace_wanted();
+    cfg.spans = sink.spans_wanted();
+    cfg.spans_capacity = sink.spans_capacity();
+    points.push_back({cfg, "busy-over-time"});
+  }
+  for (std::size_t parts : {2u, 4u, 8u}) {
+    auto cfg = base_config(parts);
+    cfg.trace = sink.trace_wanted();
+    cfg.spans = sink.spans_wanted();
+    cfg.spans_capacity = sink.spans_capacity();
+    points.push_back({cfg, "parts-" + std::to_string(parts)});
+  }
+  const auto results = run_points(sink, points);
+
+  subheading("(a) cache on vs off, 4 partitions, mixed workload");
+  std::printf("%-10s %10s %10s %12s %12s\n", "cache", "tput(cps)", "lat(us)", "consults",
+              "cache-hits");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& r = results[i];
+    std::printf("%-10s %10.0f %10.0f %12llu %12llu\n", i == 0 ? "on" : "off",
                 r.throughput_cps, r.latency_avg_us,
                 static_cast<unsigned long long>(r.counter("client.consults")),
                 static_cast<unsigned long long>(r.counter("client.cache_hits")));
@@ -55,12 +74,7 @@ int main(int argc, char** argv) {
 
   subheading("(b) oracle-leader CPU utilization over time (4 partitions)");
   {
-    auto cfg = base_config(4);
-    cfg.trace = sink.trace_wanted();
-    cfg.spans = sink.spans_wanted();
-    cfg.spans_capacity = sink.spans_capacity();
-    auto r = harness::run_chirper(cfg);
-    sink.add(cfg, r, "busy-over-time");
+    const auto& r = results[2];
     std::printf("second:   ");
     for (std::size_t i = 0; i < r.oracle_busy_series.size(); ++i) std::printf(" %5zu", i);
     std::printf("\nbusy(%%):  ");
@@ -71,17 +85,15 @@ int main(int argc, char** argv) {
 
   subheading("(c) oracle load vs partitions");
   std::printf("%6s %12s %14s %12s\n", "parts", "tput(cps)", "consults/s", "peak-busy%");
-  for (std::size_t parts : {2u, 4u, 8u}) {
-    auto cfg = base_config(parts);
-    cfg.trace = sink.trace_wanted();
-    cfg.spans = sink.spans_wanted();
-    cfg.spans_capacity = sink.spans_capacity();
-    auto r = harness::run_chirper(cfg);
-    sink.add(cfg, r, "parts-" + std::to_string(parts));
-    double peak = 0;
-    for (double b : r.oracle_busy_series) peak = std::max(peak, b);
-    std::printf("%6zu %12.0f %14.0f %12.1f\n", parts, r.throughput_cps,
-                static_cast<double>(r.counter("oracle.consults")) / 10.0, 100.0 * peak);
+  {
+    std::size_t i = 3;
+    for (std::size_t parts : {2u, 4u, 8u}) {
+      const auto& r = results[i++];
+      double peak = 0;
+      for (double b : r.oracle_busy_series) peak = std::max(peak, b);
+      std::printf("%6zu %12.0f %14.0f %12.1f\n", parts, r.throughput_cps,
+                  static_cast<double>(r.counter("oracle.consults")) / 10.0, 100.0 * peak);
+    }
   }
   std::printf("\n(paper shape: load spikes early, then the cache absorbs consults and the\n"
               " oracle stays far from saturation)\n");

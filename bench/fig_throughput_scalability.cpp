@@ -35,9 +35,8 @@ int main(int argc, char** argv) {
       {Strategy::kDssmr, Placement::kHash, "DS-SMR"},
   };
 
+  std::vector<SweepPoint> points;
   for (const auto& mix : kMixes) {
-    subheading(std::string("workload mix: ") + mix_name(mix));
-    print_run_header();
     for (std::size_t parts : {1u, 2u, 4u, 8u}) {
       for (const auto& c : kCases) {
         ChirperRunConfig cfg;
@@ -58,11 +57,19 @@ int main(int argc, char** argv) {
         cfg.trace = sink.trace_wanted();
         cfg.spans = sink.spans_wanted();
         cfg.spans_capacity = sink.spans_capacity();
-        auto r = harness::run_chirper(cfg);
-        sink.add(cfg, r, std::string(c.label) + "/" + mix_name(mix) + "/p" +
-                             std::to_string(parts));
-        print_run_row(c.label, parts, r);
+        points.push_back({cfg, std::string(c.label) + "/" + mix_name(mix) + "/p" +
+                                   std::to_string(parts)});
       }
+    }
+  }
+  const auto results = run_points(sink, points);
+
+  std::size_t i = 0;
+  for (const auto& mix : kMixes) {
+    subheading(std::string("workload mix: ") + mix_name(mix));
+    print_run_header();
+    for (std::size_t parts : {1u, 2u, 4u, 8u}) {
+      for (const auto& c : kCases) print_run_row(c.label, parts, results[i++]);
     }
   }
   std::printf("\n(paper shape: near-linear scaling when commands are single-partition;\n"

@@ -33,6 +33,39 @@ void BM_EngineScheduleAndRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleAndRun);
 
+void BM_EngineScheduleFire(benchmark::State& state) {
+  // Pure schedule->fire round trips with a deep queue already in place —
+  // the steady-state shape of a busy simulation.
+  sim::Engine engine;
+  std::int64_t sink = 0;
+  for (int i = 0; i < 1024; ++i) engine.schedule(1'000'000'000 + i, [&sink] { ++sink; });
+  for (auto _ : state) {
+    engine.schedule(0, [&sink] { ++sink; });
+    engine.step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineScheduleCancel(benchmark::State& state) {
+  // The timeout pattern: nearly every armed timer is cancelled before it
+  // fires (client op timeouts, paxos re-elections).
+  sim::Engine engine;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    sim::TimerId ids[64];
+    for (int i = 0; i < 64; ++i) {
+      ids[i] = engine.schedule(1000 + i, [&sink] { ++sink; });
+    }
+    for (int i = 0; i < 64; ++i) engine.cancel(ids[i]);
+    engine.run();  // drains the dead heap entries without firing anything
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EngineScheduleCancel);
+
 class Sink : public net::Actor {
  public:
   void on_message(ProcessId, const net::MessagePtr&) override { ++count; }
@@ -53,6 +86,27 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_NetworkMultisend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  sim::Engine engine;
+  net::Network network{engine, {}, 1};
+  Sink sender;
+  auto from = network.add_process(sender, 0);
+  std::vector<std::unique_ptr<Sink>> sinks;
+  std::vector<ProcessId> dests;
+  for (std::size_t i = 0; i < fanout; ++i) {
+    sinks.push_back(std::make_unique<Sink>());
+    dests.push_back(network.add_process(*sinks.back(), static_cast<int>(i % 2)));
+  }
+  auto msg = net::make_msg<IntPayload>(1);
+  for (auto _ : state) {
+    network.multisend(from, dests, msg);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_NetworkMultisend)->Arg(4)->Arg(16);
 
 class NullGroupNode : public multicast::GroupNode {
  public:

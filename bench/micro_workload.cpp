@@ -1,7 +1,11 @@
 // Microbenchmarks of the workload-generation and statistics substrates.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
+#include "common/flat_map.h"
 #include "common/rng.h"
+#include "common/types.h"
 #include "partition/partitioner.h"
 #include "stats/histogram.h"
 #include "workload/chirper_workload.h"
@@ -19,13 +23,54 @@ void BM_RngNext(benchmark::State& state) {
 }
 BENCHMARK(BM_RngNext);
 
-void BM_ZipfSample(benchmark::State& state) {
+void BM_ZipfSampleAlias(benchmark::State& state) {
   Rng rng{2};
   workload::Zipf zipf{static_cast<std::size_t>(state.range(0)), 0.99};
   for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ZipfSampleAlias)->Arg(1000)->Arg(100000);
+
+void BM_ZipfSampleCdf(benchmark::State& state) {
+  // Reference inverse-CDF sampler (binary search) — the alias method above
+  // replaces this on the hot path; kept to quantify the win.
+  Rng rng{2};
+  workload::Zipf zipf{static_cast<std::size_t>(state.range(0)), 0.99};
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample_cdf(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSampleCdf)->Arg(1000)->Arg(100000);
+
+void BM_FlatMapLocate(benchmark::State& state) {
+  // The Mapping/location-cache lookup shape: VarId keys 0..n-1, random probe
+  // order, all hits.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::FlatMap<VarId, GroupId> map;
+  map.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) map[VarId{i}] = GroupId{static_cast<std::uint32_t>(i & 7)};
+  Rng rng{7};
+  for (auto _ : state) {
+    auto it = map.find(VarId{rng.below(n)});
+    benchmark::DoNotOptimize(it->second);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapLocate)->Arg(2048)->Arg(100000);
+
+void BM_UnorderedMapLocate(benchmark::State& state) {
+  // std::unordered_map baseline for BM_FlatMapLocate.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<VarId, GroupId> map;
+  map.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) map[VarId{i}] = GroupId{static_cast<std::uint32_t>(i & 7)};
+  Rng rng{7};
+  for (auto _ : state) {
+    auto it = map.find(VarId{rng.below(n)});
+    benchmark::DoNotOptimize(it->second);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapLocate)->Arg(2048)->Arg(100000);
 
 void BM_HistogramRecord(benchmark::State& state) {
   stats::Histogram h;

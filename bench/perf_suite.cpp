@@ -1,0 +1,418 @@
+// Wall-clock perf-regression suite (see EXPERIMENTS.md, "Perf suite").
+//
+// Runs a pinned set of hot-path benchmarks and emits BENCH_perf.json
+// (schema dssmr.perf.v1): events/sec on the simulator engine, message
+// throughput, map lookups, sampling, end-to-end simulated-commands/sec and
+// the parallel-sweep speedup, plus peak RSS and wall time. CI runs
+// `perf_suite --smoke --json` and tools/perf_compare.py diffs the result
+// against the committed baseline with tolerance bands.
+//
+// The engine benchmarks also run against an embedded copy of the legacy
+// event queue (binary heap of std::function + lazy-cancel hash set — the
+// pre-optimization implementation), so the reported `speedup_vs_legacy`
+// ratios are self-demonstrating on any machine rather than a claim about
+// one historical measurement.
+//
+// Flags:
+//   --smoke      shrink every benchmark (~seconds total; CI mode)
+//   --json [p]   write the JSON report (default BENCH_perf.json)
+//   --jobs N     thread count for the sweep benchmark (default 4)
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "stats/json_writer.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace dssmr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - t0)
+      .count();
+}
+
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+/// The seed tree's event queue, kept verbatim in miniature: binary heap of
+/// heap-allocated std::function callbacks, cancellation via an auxiliary
+/// hash set consulted at pop time. Exists only as the denominator of
+/// speedup_vs_legacy.
+class LegacyEngine {
+ public:
+  using TimerId = std::uint64_t;
+
+  TimerId schedule(Duration delay, std::function<void()> cb) {
+    const TimerId id = next_id_++;
+    heap_.push(Item{now_ + delay, seq_++, id, std::move(cb)});
+    return id;
+  }
+  void cancel(TimerId id) { cancelled_.insert(id); }
+
+  bool step() {
+    while (!heap_.empty()) {
+      Item item = heap_.top();
+      heap_.pop();
+      if (auto it = cancelled_.find(item.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      now_ = item.when;
+      item.cb();
+      return true;
+    }
+    return false;
+  }
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Item {
+    Time when;
+    std::uint64_t seq;
+    TimerId id;
+    std::function<void()> cb;
+    bool operator>(const Item& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  std::unordered_set<TimerId> cancelled_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  TimerId next_id_ = 1;
+};
+
+struct BenchResult {
+  std::string name;
+  double items_per_sec = 0;
+  double wall_s = 0;
+  /// Extra metric fields appended verbatim to the bench's JSON object.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+struct IntPayload final : net::Message {
+  std::int64_t v;
+  explicit IntPayload(std::int64_t x) : v(x) {}
+  const char* type_name() const override { return "perf.int"; }
+};
+
+class CountingActor : public net::Actor {
+ public:
+  void on_message(ProcessId, const net::MessagePtr&) override { ++count; }
+  std::uint64_t count = 0;
+};
+
+// --- engine -----------------------------------------------------------------
+
+template <class EngineLike, class ScheduleFn, class StepFn>
+double engine_fire_loop(EngineLike& engine, std::uint64_t iters, ScheduleFn schedule,
+                        StepFn step) {
+  // The capture mirrors the simulator's network-delivery callbacks
+  // ([this, from, to, m] — four words). Anything beyond 16 bytes overflows
+  // std::function's inline buffer, so the legacy engine pays an allocation
+  // per event here exactly as it did per delivery in real runs.
+  std::int64_t sink = 0;
+  std::uint64_t from = 1, to = 2, payload = 3;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    schedule(engine, [&sink, from, to, payload] { sink += static_cast<std::int64_t>(from + to + payload) / 6; });
+    step(engine);
+  }
+  const double wall = seconds_since(t0);
+  if (sink != static_cast<std::int64_t>(iters)) std::abort();
+  return wall;
+}
+
+BenchResult bench_engine_schedule_fire(std::uint64_t iters) {
+  // Standing queue depth: a mid-size chirper run keeps thousands of timers
+  // pending (per-client timeouts plus every in-flight network delivery), so
+  // the schedule/fire path is exercised against a populated heap.
+  constexpr int kStanding = 4096;
+
+  sim::Engine engine;
+  std::int64_t ballast = 0;
+  for (int i = 0; i < kStanding; ++i) {
+    engine.schedule(1'000'000'000 + i, [&ballast] { ++ballast; });
+  }
+  const double wall = engine_fire_loop(
+      engine, iters, [](sim::Engine& e, auto cb) { e.schedule(0, std::move(cb)); },
+      [](sim::Engine& e) { e.step(); });
+
+  LegacyEngine legacy;
+  std::int64_t ballast2 = 0;
+  for (int i = 0; i < kStanding; ++i) {
+    legacy.schedule(1'000'000'000 + i, [&ballast2] { ++ballast2; });
+  }
+  const double legacy_wall = engine_fire_loop(
+      legacy, iters, [](LegacyEngine& e, auto cb) { e.schedule(0, std::move(cb)); },
+      [](LegacyEngine& e) { e.step(); });
+
+  BenchResult r{"engine.schedule_fire", static_cast<double>(iters) / wall, wall, {}};
+  r.extra.emplace_back("legacy_items_per_sec", static_cast<double>(iters) / legacy_wall);
+  r.extra.emplace_back("speedup_vs_legacy", legacy_wall / wall);
+  return r;
+}
+
+BenchResult bench_engine_schedule_cancel(std::uint64_t iters) {
+  constexpr int kBatch = 64;
+  const std::uint64_t rounds = iters / kBatch;
+
+  sim::Engine engine;
+  std::int64_t sink = 0;
+  auto t0 = Clock::now();
+  for (std::uint64_t rd = 0; rd < rounds; ++rd) {
+    sim::TimerId ids[kBatch];
+    for (int i = 0; i < kBatch; ++i) {
+      ids[i] = engine.schedule(1000 + i, [&sink] { ++sink; });
+    }
+    for (int i = 0; i < kBatch; ++i) engine.cancel(ids[i]);
+    engine.run();
+  }
+  const double wall = seconds_since(t0);
+
+  LegacyEngine legacy;
+  t0 = Clock::now();
+  for (std::uint64_t rd = 0; rd < rounds; ++rd) {
+    LegacyEngine::TimerId ids[kBatch];
+    for (int i = 0; i < kBatch; ++i) {
+      ids[i] = legacy.schedule(1000 + i, [&sink] { ++sink; });
+    }
+    for (int i = 0; i < kBatch; ++i) legacy.cancel(ids[i]);
+    legacy.run();
+  }
+  const double legacy_wall = seconds_since(t0);
+  if (sink != 0) std::abort();
+
+  const auto items = static_cast<double>(rounds * kBatch);
+  BenchResult r{"engine.schedule_cancel", items / wall, wall, {}};
+  r.extra.emplace_back("legacy_items_per_sec", items / legacy_wall);
+  r.extra.emplace_back("speedup_vs_legacy", legacy_wall / wall);
+  return r;
+}
+
+// --- network ----------------------------------------------------------------
+
+BenchResult bench_network_multisend(std::uint64_t iters) {
+  constexpr std::size_t kFanout = 16;
+  sim::Engine engine;
+  net::Network network{engine, {}, 1};
+  CountingActor sender;
+  const ProcessId from = network.add_process(sender, 0);
+  std::vector<std::unique_ptr<CountingActor>> actors;
+  std::vector<ProcessId> dests;
+  for (std::size_t i = 0; i < kFanout; ++i) {
+    actors.push_back(std::make_unique<CountingActor>());
+    dests.push_back(network.add_process(*actors.back(), static_cast<int>(i % 2)));
+  }
+  const auto msg = net::make_msg<IntPayload>(7);
+  const std::uint64_t rounds = iters / kFanout;
+  const auto t0 = Clock::now();
+  for (std::uint64_t rd = 0; rd < rounds; ++rd) {
+    network.multisend(from, dests, msg);
+    engine.run();
+  }
+  const double wall = seconds_since(t0);
+  return {"network.multisend", static_cast<double>(rounds * kFanout) / wall, wall, {}};
+}
+
+// --- mapping ----------------------------------------------------------------
+
+BenchResult bench_mapping_locate(std::uint64_t iters) {
+  constexpr std::size_t kVars = 100'000;
+  common::FlatMap<VarId, GroupId> map;
+  map.reserve(kVars);
+  for (std::size_t i = 0; i < kVars; ++i) {
+    map[VarId{i}] = GroupId{static_cast<std::uint32_t>(i & 7)};
+  }
+  Rng rng{11};
+  std::uint64_t acc = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    acc += map.find(VarId{rng.below(kVars)})->second.value;
+  }
+  const double wall = seconds_since(t0);
+  if (acc == ~0ull) std::abort();  // keep `acc` observable
+  return {"mapping.locate", static_cast<double>(iters) / wall, wall, {}};
+}
+
+// --- workload ---------------------------------------------------------------
+
+BenchResult bench_zipf_sample(std::uint64_t iters) {
+  workload::Zipf zipf{100'000, 0.99};
+  Rng rng{13};
+  std::uint64_t acc = 0;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) acc += zipf.sample(rng);
+  const double wall = seconds_since(t0);
+
+  Rng rng2{13};
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) acc += zipf.sample_cdf(rng2);
+  const double cdf_wall = seconds_since(t0);
+  if (acc == ~0ull) std::abort();
+
+  BenchResult r{"zipf.sample", static_cast<double>(iters) / wall, wall, {}};
+  r.extra.emplace_back("cdf_items_per_sec", static_cast<double>(iters) / cdf_wall);
+  r.extra.emplace_back("speedup_vs_cdf", cdf_wall / wall);
+  return r;
+}
+
+// --- end-to-end -------------------------------------------------------------
+
+harness::ChirperRunConfig small_chirper(bool smoke, std::uint64_t seed) {
+  harness::ChirperRunConfig cfg;
+  cfg.partitions = 2;
+  cfg.clients_per_partition = 4;
+  cfg.graph = {.n = 512, .m = 2, .p_triad = 0.8};
+  cfg.use_controlled_cut = true;
+  cfg.controlled_edge_cut = 0.01;
+  cfg.workload.mix = workload::mixes::kTimelineHeavy;
+  cfg.warmup = smoke ? msec(200) : sec(1);
+  cfg.measure = smoke ? msec(400) : sec(2);
+  cfg.seed = seed;
+  return cfg;
+}
+
+BenchResult bench_chirper_small(bool smoke) {
+  const auto cfg = small_chirper(smoke, 42);
+  const auto t0 = Clock::now();
+  const harness::RunResult r = harness::run_chirper(cfg);
+  const double wall = seconds_since(t0);
+  const double commands = static_cast<double>(r.ok + r.nok);
+  BenchResult b{"chirper.small", commands / wall, wall, {}};
+  b.extra.emplace_back("throughput_cps", r.throughput_cps);
+  b.extra.emplace_back(
+      "sim_time_ratio",
+      (static_cast<double>(cfg.warmup + cfg.measure) / 1e6) / wall);
+  return b;
+}
+
+BenchResult bench_sweep_parallel(bool smoke, std::size_t jobs) {
+  std::vector<harness::ChirperRunConfig> cfgs;
+  for (std::uint64_t s = 0; s < 4; ++s) cfgs.push_back(small_chirper(smoke, 40 + s));
+
+  auto t0 = Clock::now();
+  const auto serial = harness::run_sweep(cfgs, 1);
+  const double serial_wall = seconds_since(t0);
+
+  t0 = Clock::now();
+  const auto parallel = harness::run_sweep(cfgs, jobs);
+  const double parallel_wall = seconds_since(t0);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].counters == parallel[i].counters &&
+                serial[i].ok == parallel[i].ok && serial[i].nok == parallel[i].nok;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FATAL: parallel sweep diverged from serial results\n");
+    std::exit(1);
+  }
+
+  BenchResult r{"sweep.parallel", static_cast<double>(cfgs.size()) / parallel_wall,
+                parallel_wall, {}};
+  r.extra.emplace_back("serial_wall_s", serial_wall);
+  r.extra.emplace_back("speedup", serial_wall / parallel_wall);
+  r.extra.emplace_back("jobs", static_cast<double>(jobs));
+  r.extra.emplace_back("results_identical", 1.0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::size_t jobs = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "BENCH_perf.json";
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (jobs == 0) jobs = 1;
+    } else {
+      std::fprintf(stderr, "usage: perf_suite [--smoke] [--json [path]] [--jobs N]\n");
+      return 2;
+    }
+  }
+
+  const std::uint64_t kIters = smoke ? 400'000 : 4'000'000;
+  const auto suite_t0 = Clock::now();
+
+  std::vector<BenchResult> results;
+  results.push_back(bench_engine_schedule_fire(kIters));
+  results.push_back(bench_engine_schedule_cancel(kIters));
+  results.push_back(bench_network_multisend(kIters));
+  results.push_back(bench_mapping_locate(kIters));
+  results.push_back(bench_zipf_sample(kIters));
+  results.push_back(bench_chirper_small(smoke));
+  results.push_back(bench_sweep_parallel(smoke, jobs));
+
+  const double total_wall = seconds_since(suite_t0);
+
+  std::printf("%-24s %16s %10s\n", "bench", "items/sec", "wall(s)");
+  for (const BenchResult& r : results) {
+    std::printf("%-24s %16.0f %10.3f\n", r.name.c_str(), r.items_per_sec, r.wall_s);
+    for (const auto& [k, v] : r.extra) std::printf("  %-22s %16.2f\n", k.c_str(), v);
+  }
+  std::printf("%-24s %27.3f\n", "total", total_wall);
+  std::printf("%-24s %24.1fMB\n", "peak rss", peak_rss_mb());
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    stats::JsonWriter w(os);
+    w.begin_object();
+    w.field("schema", "dssmr.perf.v1");
+    w.field("smoke", smoke);
+    w.field("jobs", static_cast<std::uint64_t>(jobs));
+    w.field("total_wall_s", total_wall);
+    w.field("peak_rss_mb", peak_rss_mb());
+    w.key("benches");
+    w.begin_array();
+    for (const BenchResult& r : results) {
+      w.begin_object();
+      w.field("name", r.name);
+      w.field("items_per_sec", r.items_per_sec);
+      w.field("wall_s", r.wall_s);
+      for (const auto& [k, v] : r.extra) w.field(k, v);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

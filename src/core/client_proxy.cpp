@@ -23,8 +23,9 @@ using stats::TraceEvent;
 namespace {
 
 /// Sink for counter handles when no metrics object is wired (tests).
+/// thread_local: simulations on different sweep threads may share it.
 stats::Counter& dummy_counter() {
-  static stats::Counter c;
+  thread_local stats::Counter c;
   return c;
 }
 

@@ -151,7 +151,9 @@ class ClientProxy : public multicast::ClientNode {
   Time sent_at_ = 0;       // first multicast of the current command window
   Time fallback_start_ = 0;
 
-  std::unordered_map<VarId, GroupId> cache_;
+  /// Location cache (Section "Performance optimizations"): consulted on
+  /// every access command, so it shares the oracle's open-addressing map.
+  LocationMap cache_;
 };
 
 }  // namespace dssmr::core

@@ -3,13 +3,19 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace dssmr::core {
+
+/// Variable->partition map type shared by the oracle mapping, the S-SMR
+/// static map and the client location cache. Open-addressing (see
+/// common/flat_map.h): locate() is consulted on every command, so this is
+/// one of the hottest lookups in the simulator.
+using LocationMap = common::FlatMap<VarId, GroupId>;
 
 /// Dynamic variable->partition mapping, replicated inside the oracle group.
 /// All mutations happen while processing atomically delivered commands, so
@@ -22,6 +28,9 @@ class Mapping {
   }
 
   bool contains(VarId v) const { return map_.contains(v); }
+
+  /// Pre-sizes the table (deployments know the variable count up front).
+  void reserve(std::size_t vars) { map_.reserve(vars); }
 
   /// Partition of `v`; kNoGroup when unmapped.
   GroupId locate(VarId v) const {
@@ -48,7 +57,7 @@ class Mapping {
   }
 
   std::size_t var_count() const { return map_.size(); }
-  const std::unordered_map<VarId, GroupId>& entries() const { return map_; }
+  const LocationMap& entries() const { return map_; }
   std::size_t partition_count() const { return partitions_.size(); }
   const std::vector<GroupId>& partitions() const { return partitions_; }
 
@@ -74,7 +83,7 @@ class Mapping {
 
   std::vector<GroupId> partitions_;
   std::vector<std::uint64_t> counts_;
-  std::unordered_map<VarId, GroupId> map_;
+  LocationMap map_;
 };
 
 /// Placement decisions. Implementations MUST be deterministic functions of
@@ -131,16 +140,22 @@ class DssmrPolicy : public OraclePolicy {
   }
 
   GroupId choose_destination(const std::vector<VarId>& vars, const Mapping& map) override {
-    // Involved partitions, in partition-id order (deterministic).
-    std::unordered_map<std::uint32_t, std::size_t> held;
+    // Held-variable counts per partition, indexed like map.partitions().
+    // Runs on every multi-partition consult: a linear scan over the few
+    // deployed partitions beats any hash map here.
+    held_.assign(map.partitions().size(), 0);
+    std::size_t involved_count = 0;
     for (VarId v : vars) {
       const GroupId p = map.locate(v);
-      if (p != kNoGroup) held[p.value]++;
+      if (p == kNoGroup) continue;
+      const std::size_t i = partition_index(map, p);
+      if (held_[i]++ == 0) ++involved_count;
     }
-    DSSMR_ASSERT_MSG(!held.empty(), "choose_destination with fully unmapped vars");
-    std::vector<GroupId> involved;
-    for (GroupId p : map.partitions()) {
-      if (held.contains(p.value)) involved.push_back(p);
+    DSSMR_ASSERT_MSG(involved_count > 0, "choose_destination with fully unmapped vars");
+    // Involved partitions, in partition-id order (deterministic).
+    involved_.clear();
+    for (std::size_t i = 0; i < held_.size(); ++i) {
+      if (held_[i] > 0) involved_.push_back(map.partitions()[i]);
     }
 
     std::uint64_t h = 0x9e3779b97f4a7c15ULL;
@@ -149,36 +164,51 @@ class DssmrPolicy : public OraclePolicy {
 
     switch (rule_) {
       case DestRule::kRandomInvolved:
-        return involved[h % involved.size()];
+        return involved_[h % involved_.size()];
       case DestRule::kMostHeld: {
         std::size_t most = 0;
-        for (GroupId p : involved) most = std::max(most, held[p.value]);
-        std::vector<GroupId> tied;
-        for (GroupId p : involved) {
-          if (held[p.value] == most) tied.push_back(p);
+        for (GroupId p : involved_) {
+          most = std::max(most, held_[partition_index(map, p)]);
         }
-        return tied[h % tied.size()];
+        tied_.clear();
+        for (GroupId p : involved_) {
+          if (held_[partition_index(map, p)] == most) tied_.push_back(p);
+        }
+        return tied_[h % tied_.size()];
       }
       case DestRule::kLeastLoaded: {
-        GroupId best = involved[0];
-        for (GroupId p : involved) {
+        GroupId best = involved_[0];
+        for (GroupId p : involved_) {
           if (map.load(p) < map.load(best)) best = p;
         }
         return best;
       }
     }
-    return involved[0];
+    return involved_[0];
   }
 
  private:
+  std::size_t partition_index(const Mapping& map, GroupId p) const {
+    const auto& parts = map.partitions();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i] == p) return i;
+    }
+    DSSMR_FAIL("partition not in mapping");
+  }
+
   DestRule rule_ = DestRule::kMostHeld;
+  /// Scratch buffers reused across calls (one policy instance per oracle
+  /// replica; calls are sequential within a simulation).
+  std::vector<std::size_t> held_;
+  std::vector<GroupId> involved_;
+  std::vector<GroupId> tied_;
 };
 
 /// Static map used by the S-SMR baseline: computed once at deployment time
 /// (hash placement or an optimized graph partitioning) and shared read-only
 /// by every client.
 struct StaticMap {
-  std::unordered_map<VarId, GroupId> location;
+  LocationMap location;
   std::vector<GroupId> partitions;
 
   GroupId locate(VarId v) const {

@@ -52,6 +52,9 @@ class OracleNode : public multicast::GroupNode {
   /// Pre-registers a variable's location (initial state distribution).
   void preload(VarId v, GroupId p);
 
+  /// Pre-sizes the mapping (deployments know the variable count up front).
+  void reserve_vars(std::size_t n) { mapping_->reserve(n); }
+
   const Mapping& mapping() const { return *mapping_; }
   OraclePolicy& policy() { return *policy_; }
   Duration busy_time() const { return exec_->busy_time(); }

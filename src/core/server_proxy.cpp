@@ -19,8 +19,9 @@ using stats::SpanPhase;
 
 namespace {
 
+/// thread_local: simulations on different sweep threads may share it.
 stats::Counter& dummy_counter() {
-  static stats::Counter c;
+  thread_local stats::Counter c;
   return c;
 }
 

@@ -101,6 +101,11 @@ core::PartitionServer& Deployment::server(std::size_t partition, std::size_t rep
   return *servers_[partition * config_.replicas_per_partition + replica];
 }
 
+void Deployment::reserve_vars(std::size_t n) {
+  for (auto& o : oracles_) o->reserve_vars(n);
+  static_map_->location.reserve(n);
+}
+
 void Deployment::preload_var(VarId v, GroupId p, const smr::VarValue& value) {
   for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
     server(p.value, r).preload(v, value.clone());

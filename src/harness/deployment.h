@@ -78,6 +78,10 @@ class Deployment {
   /// registers it with every oracle replica and the S-SMR static map.
   void preload_var(VarId v, GroupId p, const smr::VarValue& value);
 
+  /// Pre-sizes the oracle mappings and the static map for `n` variables —
+  /// call before the preload loop to avoid rehash churn during setup.
+  void reserve_vars(std::size_t n);
+
   sim::Engine& engine() { return engine_; }
   net::Network& network() { return network_; }
   stats::Metrics& metrics() { return metrics_; }

@@ -145,6 +145,7 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   Deployment d{dep, chirper::chirper_app_factory(cfg.app_costs), std::move(policy_factory)};
 
   // Preload every user on its assigned partition.
+  d.reserve_vars(prepared.graph.user_count());
   for (std::size_t u = 0; u < prepared.graph.user_count(); ++u) {
     chirper::UserValue user;
     user.followers = prepared.graph.neighbors(VarId{u});

@@ -1,0 +1,41 @@
+// Deterministic parallel sweep runner.
+//
+// Every figure binary sweeps a grid of ChirperRunConfigs; the simulations
+// are fully independent (one Engine, Network and metrics registry per run),
+// so sweep points can execute on a small thread pool. Determinism is
+// preserved by construction: each run's randomness comes only from its own
+// seeded Rng, and results land in a vector slot chosen by submission index —
+// output is byte-identical to a serial sweep regardless of thread scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace dssmr::harness {
+
+/// Invokes `fn(i)` for i in [0, n), using up to `jobs` worker threads.
+/// jobs <= 1 (or n <= 1) runs inline on the calling thread. `fn` must be
+/// safe to call concurrently from different threads for different `i`.
+/// The first exception thrown by any invocation is rethrown on the caller.
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// parallel_for that collects `fn(i)` into a vector indexed by `i` —
+/// result order matches submission order, never completion order.
+template <class Fn>
+auto parallel_map(std::size_t n, std::size_t jobs, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(n, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Runs run_chirper for every config, up to `jobs` at a time. Results are
+/// positionally matched to `configs`.
+std::vector<RunResult> run_sweep(const std::vector<ChirperRunConfig>& configs,
+                                 std::size_t jobs);
+
+}  // namespace dssmr::harness

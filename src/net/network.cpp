@@ -36,19 +36,17 @@ Duration Network::transit_time(ProcessId from, ProcessId to, std::size_t bytes) 
   return d;
 }
 
-void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
-  DSSMR_ASSERT(m != nullptr);
-  DSSMR_ASSERT(from.value < processes_.size() && to.value < processes_.size());
+void Network::send_one(ProcessId from, ProcessId to, const MessagePtr& m,
+                       std::size_t bytes) {
   ++stats_.messages_sent;
-  stats_.bytes_sent += m->size_bytes();
+  stats_.bytes_sent += bytes;
 
-  if (crashed_.contains(from) || !link_up(from, to) ||
-      rng_.chance(config_.drop_probability)) {
+  if (crashed(from) || !link_up(from, to) || rng_.chance(config_.drop_probability)) {
     ++stats_.messages_dropped;
     return;
   }
 
-  Time arrival = engine_.now() + transit_time(from, to, m->size_bytes());
+  Time arrival = engine_.now() + transit_time(from, to, bytes);
   if (config_.fifo) {
     const std::uint64_t key = (static_cast<std::uint64_t>(from.value) << 32) | to.value;
     Time& front = fifo_front_[key];
@@ -56,8 +54,8 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
     front = arrival;
   }
 
-  engine_.schedule_at(arrival, [this, from, to, m = std::move(m)] {
-    if (crashed_.contains(to) || !link_up(from, to)) {
+  engine_.schedule_at(arrival, [this, from, to, m] {
+    if (crashed(to) || !link_up(from, to)) {
       ++stats_.messages_dropped;
       return;
     }
@@ -66,14 +64,34 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
   });
 }
 
-void Network::multisend(ProcessId from, const std::vector<ProcessId>& dests,
-                        const MessagePtr& m) {
-  for (ProcessId d : dests) send(from, d, m);
+void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
+  DSSMR_ASSERT(m != nullptr);
+  DSSMR_ASSERT(from.value < processes_.size() && to.value < processes_.size());
+  send_one(from, to, m, m->size_bytes());
 }
 
-void Network::crash(ProcessId p) { crashed_.insert(p); }
+void Network::multisend(ProcessId from, const std::vector<ProcessId>& dests,
+                        const MessagePtr& m) {
+  DSSMR_ASSERT(m != nullptr);
+  DSSMR_ASSERT(from.value < processes_.size());
+  // The payload is immutable and shared: hoist the virtual size query out of
+  // the loop and hand every destination the same MessagePtr (each scheduled
+  // delivery takes one reference; nothing is deep-copied per destination).
+  const std::size_t bytes = m->size_bytes();
+  for (ProcessId d : dests) {
+    DSSMR_ASSERT(d.value < processes_.size());
+    send_one(from, d, m, bytes);
+  }
+}
 
-void Network::recover(ProcessId p) { crashed_.erase(p); }
+void Network::crash(ProcessId p) {
+  if (p.value >= crashed_.size()) crashed_.resize(p.value + 1, 0);
+  crashed_[p.value] = 1;
+}
+
+void Network::recover(ProcessId p) {
+  if (p.value < crashed_.size()) crashed_[p.value] = 0;
+}
 
 void Network::set_link(ProcessId a, ProcessId b, bool up) {
   if (up) {

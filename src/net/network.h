@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/message.h"
@@ -71,14 +71,17 @@ class Network {
   /// crashed endpoints and unlucky draws drop the message.
   void send(ProcessId from, ProcessId to, MessagePtr m);
 
-  /// Sends to every id in `dests` (duplicates allowed; each gets a copy).
+  /// Sends to every id in `dests` (duplicates allowed; all destinations
+  /// share the same immutable payload — no per-destination copies).
   void multisend(ProcessId from, const std::vector<ProcessId>& dests, const MessagePtr& m);
 
   /// Marks a process crashed: all in-flight and future traffic involving it
   /// is dropped until recover().
   void crash(ProcessId p);
   void recover(ProcessId p);
-  bool crashed(ProcessId p) const { return crashed_.contains(p); }
+  bool crashed(ProcessId p) const {
+    return p.value < crashed_.size() && crashed_[p.value] != 0;
+  }
 
   /// Cuts / restores the (symmetric) link between two processes. While a
   /// link is down, traffic between the pair — including messages already in
@@ -101,6 +104,8 @@ class Network {
 
  private:
   Duration transit_time(ProcessId from, ProcessId to, std::size_t bytes);
+  /// Shared implementation of send/multisend with the payload size hoisted.
+  void send_one(ProcessId from, ProcessId to, const MessagePtr& m, std::size_t bytes);
 
   sim::Engine& engine_;
   NetworkConfig config_;
@@ -112,10 +117,12 @@ class Network {
     return (static_cast<std::uint64_t>(a.value) << 32) | b.value;
   }
 
-  std::unordered_set<ProcessId> crashed_;
+  /// Crash flags, indexed by pid (dense: checked twice per message).
+  std::vector<std::uint8_t> crashed_;
+  /// Down links are rare (fault tests only); link_up() fast-paths on empty().
   std::unordered_set<std::uint64_t> down_links_;
   /// Earliest admissible arrival per (from,to) pair, for FIFO channels.
-  std::unordered_map<std::uint64_t, Time> fifo_front_;
+  common::FlatMap<std::uint64_t, Time> fifo_front_;
   NetworkStats stats_;
 };
 

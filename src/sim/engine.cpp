@@ -1,61 +1,97 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace dssmr::sim {
 
-TimerId Engine::schedule(Duration delay, Callback cb) {
-  DSSMR_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
-  return schedule_at(now_ + delay, std::move(cb));
-}
-
-TimerId Engine::schedule_at(Time when, Callback cb) {
-  DSSMR_ASSERT_MSG(when >= now_, "cannot schedule into the past");
-  const TimerId id = next_seq_++;
-  queue_.push(Event{when, id, std::move(cb)});
-  return id;
+void Engine::release_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.cb.reset();
+  ++slot.gen;
+  if (slot.gen == 0) ++slot.gen;  // generation 0 means "invalid id", never issue it
+  slot.next_free = free_head_;
+  free_head_ = s;
 }
 
 void Engine::cancel(TimerId id) {
-  if (id == 0 || id >= next_seq_) return;
-  cancelled_.insert(id);
+  const auto s = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  // Already fired, already cancelled, or never issued: the slot's current
+  // generation no longer matches, so this is a guaranteed no-op.
+  if (gen == 0 || s >= slots_.size() || slots_[s].gen != gen) return;
+  release_slot(s);  // the heap node stays behind as a tombstone
+  --live_;
 }
 
-void Engine::fire_front() {
-  // The queue owns const references; copy out then pop so the callback can
-  // schedule/cancel freely.
-  Event ev = queue_.top();
-  queue_.pop();
-  if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return;
+Engine::Node Engine::heap_pop() {
+  const Node top = heap_.front();
+  const Node last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
   }
-  DSSMR_ASSERT(ev.when >= now_);
-  now_ = ev.when;
+  return top;
+}
+
+void Engine::drop_dead_top() {
+  while (!heap_.empty() && !is_live(heap_.front())) heap_pop();
+}
+
+void Engine::fire(const Node& n) {
+  DSSMR_ASSERT(n.when >= now_);
+  now_ = n.when;
+  // Move the callback out and free the slot first, so the callback can
+  // schedule/cancel freely (including reusing this very slot).
+  Callback cb = std::move(slots_[n.slot].cb);
+  release_slot(n.slot);
+  --live_;
   ++executed_;
-  ev.cb();
+  cb();
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const std::size_t before = executed_;
-    fire_front();
-    if (executed_ != before) return true;  // skipped events were cancelled
+  while (!heap_.empty()) {
+    const Node n = heap_pop();
+    if (!is_live(n)) continue;  // cancelled tombstone
+    fire(n);
+    return true;
   }
   return false;
 }
 
 void Engine::run() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) fire_front();
+  while (!stopped_ && !heap_.empty()) {
+    const Node n = heap_pop();
+    if (is_live(n)) fire(n);
+  }
 }
 
 void Engine::run_until(Time t) {
   DSSMR_ASSERT(t >= now_);
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().when <= t) fire_front();
+  for (;;) {
+    drop_dead_top();  // the time peek below must see a live event
+    if (stopped_ || heap_.empty() || heap_.front().when > t) break;
+    fire(heap_pop());
+  }
   if (!stopped_) now_ = t;
 }
 

@@ -4,35 +4,163 @@
 // links, timers and CPU service times are all events on a single virtual
 // clock. Determinism is guaranteed by ordering events by (time, insertion
 // sequence), so two runs with the same seeds replay the same history.
+//
+// Every simulated event in the repository passes through here, so the hot
+// path is engineered for wall-clock speed:
+//  * callbacks are small-buffer-optimized (sim::Callback): scheduling a
+//    lambda whose captures fit Callback::kInlineSize never allocates;
+//  * the ready queue is an implicit 4-ary min-heap of 24-byte POD nodes —
+//    sift operations move PODs, never callbacks (those sit in stable slots);
+//  * TimerIds carry a per-slot generation tag, making cancel() O(1) with no
+//    auxiliary hash set, and making cancellation of an already-fired, stale
+//    or unknown id a safe no-op (pending() can never under- or over-count).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 
 namespace dssmr::sim {
 
 /// Handle returned by schedule(); can be used to cancel a pending event.
+/// Encodes (slot << 32) | generation; 0 is never a valid id.
 using TimerId = std::uint64_t;
+
+/// Move-only `void()` callable with small-buffer optimization. Callables up
+/// to kInlineSize bytes live inside the object; larger ones fall back to one
+/// heap allocation (like std::function, but with a buffer sized for the
+/// simulator's capture lists instead of libstdc++'s 16 bytes).
+class Callback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroys the current callable (if any) and constructs `f` in place —
+  /// lets the engine build callbacks directly inside their slot with no
+  /// intermediate move.
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        switch (op) {
+          case Op::kMove:
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+            break;
+          case Op::kDestroy:
+            static_cast<Fn*>(dst)->~Fn();
+            break;
+        }
+      };
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        switch (op) {
+          case Op::kMove:
+            ::new (dst) Fn*(*static_cast<Fn**>(src));
+            break;
+          case Op::kDestroy:
+            delete *static_cast<Fn**>(dst);
+            break;
+        }
+      };
+    }
+  }
+
+  /// Moving an already-built Callback in keeps the drop-in-for-std::function
+  /// property of schedule()'s forwarding overloads.
+  void emplace(Callback&& other) noexcept { *this = std::move(other); }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op : std::uint8_t { kMove, kDestroy };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void* dst, void* src);
+
+  void move_from(Callback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(Op::kMove, buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineSize];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   /// Current virtual time.
   Time now() const { return now_; }
 
   /// Schedules `cb` to run `delay` microseconds from now (delay >= 0).
-  TimerId schedule(Duration delay, Callback cb);
+  /// Accepts any `void()` callable; it is constructed directly inside the
+  /// engine's callback slot (no intermediate Callback move).
+  template <class F>
+  TimerId schedule(Duration delay, F&& cb) {
+    DSSMR_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
+    return schedule_at(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` at absolute time `when` (>= now()).
-  TimerId schedule_at(Time when, Callback cb);
+  template <class F>
+  TimerId schedule_at(Time when, F&& cb) {
+    DSSMR_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    const std::uint32_t s = acquire_slot();
+    Slot& slot = slots_[s];
+    slot.cb.emplace(std::forward<F>(cb));
+    heap_push(Node{when, next_seq_++, s, slot.gen});
+    ++live_;
+    return (static_cast<TimerId>(s) << 32) | slot.gen;
+  }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or unknown id is a no-op (the generation tag detects all three).
   void cancel(TimerId id);
 
   /// Runs a single event. Returns false when the queue is empty.
@@ -50,34 +178,76 @@ class Engine {
   /// Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
 
-  /// Number of not-yet-fired, not-cancelled events.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of not-yet-fired, not-cancelled events. Exact at all times.
+  std::size_t pending() const { return live_; }
 
   /// Total events executed since construction.
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Event {
+  /// Heap node: ordering key plus a generation-tagged slot reference. Cancel
+  /// leaves the node in the heap as a tombstone (generation mismatch); it is
+  /// discarded when it reaches the top.
+  struct Node {
     Time when;
-    TimerId seq;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Slot {
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
-  /// Pops and runs the front event; precondition: queue non-empty.
-  void fire_front();
+  /// Lexicographic (when, seq) as one 128-bit compare: `when` is a
+  /// non-negative microsecond count, so its uint64 cast preserves order, and
+  /// the compiler turns the wide compare into two branch-free instructions —
+  /// this runs ~24 times per heap pop, so it matters.
+  static bool before(const Node& a, const Node& b) {
+    using Wide = unsigned __int128;
+    const Wide ka = (static_cast<Wide>(static_cast<std::uint64_t>(a.when)) << 64) | a.seq;
+    const Wide kb = (static_cast<Wide>(static_cast<std::uint64_t>(b.when)) << 64) | b.seq;
+    return ka < kb;
+  }
+  bool is_live(const Node& n) const { return slots_[n.slot].gen == n.gen; }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slots_[s].next_free;
+      return s;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void heap_push(Node n) {
+    std::size_t i = heap_.size();
+    heap_.push_back(n);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(n, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = n;
+  }
+
+  void release_slot(std::uint32_t s);
+  Node heap_pop();  // precondition: heap non-empty
+  void drop_dead_top();
+  void fire(const Node& n);
 
   Time now_ = 0;
-  TimerId next_seq_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  std::vector<Node> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace dssmr::sim

@@ -16,9 +16,53 @@ Zipf::Zipf(std::size_t n, double theta) {
     cdf_[i] = sum;
   }
   for (double& c : cdf_) c /= sum;
+
+  // Vose's stable alias-table construction: partition buckets into those
+  // under / over the uniform weight 1/n, then pair each small bucket with
+  // mass from a large one.
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);  // probability * n
+  double prev = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = (cdf_[i] - prev) * static_cast<double>(n);
+    prev = cdf_[i];
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly-1 buckets up to rounding error.
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
 }
 
 std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform() * static_cast<double>(prob_.size());
+  std::size_t k = static_cast<std::size_t>(u);
+  if (k >= prob_.size()) k = prob_.size() - 1;  // u == n after rounding
+  return (u - static_cast<double>(k)) < prob_[k] ? k : alias_[k];
+}
+
+std::size_t Zipf::sample_cdf(Rng& rng) const {
   const double u = rng.uniform();
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   if (it == cdf_.end()) return cdf_.size() - 1;

@@ -1,4 +1,10 @@
 // Zipf-distributed sampling over [0, n), used to skew per-user activity.
+//
+// Sampling uses the Walker/Vose alias method: O(1) per draw (one uniform,
+// one table probe) instead of the O(log n) CDF binary search. Both samplers
+// consume exactly one rng.uniform() per draw, so swapping them does not
+// shift the caller's random stream. The CDF sampler is kept for the
+// micro_workload comparison benchmark and the distribution tests.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +19,20 @@ class Zipf {
   /// theta = 0 degenerates to uniform; classic Zipf is theta ~ 0.99.
   Zipf(std::size_t n, double theta);
 
+  /// O(1) alias-method draw.
   std::size_t sample(Rng& rng) const;
+
+  /// O(log n) inverse-CDF draw (reference implementation; benchmarks only).
+  std::size_t sample_cdf(Rng& rng) const;
+
   std::size_t size() const { return cdf_.size(); }
 
  private:
   std::vector<double> cdf_;
+  /// Walker alias table: bucket i returns i when the uniform's fractional
+  /// part lands under prob_[i], alias_[i] otherwise.
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
 };
 
 }  // namespace dssmr::workload

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/bounded.h"
+#include "common/flat_map.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -146,6 +150,147 @@ TEST(BoundedMap, OverwriteDoesNotGrow) {
   m.put(1, 20);
   EXPECT_EQ(m.size(), 1u);
   EXPECT_EQ(*m.find(1), 20);
+}
+
+TEST(FlatMap, InsertFindErase) {
+  common::FlatMap<VarId, GroupId> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(VarId{1}), m.end());
+  m[VarId{1}] = GroupId{10};
+  m[VarId{2}] = GroupId{20};
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(VarId{1}));
+  ASSERT_NE(m.find(VarId{2}), m.end());
+  EXPECT_EQ(m.find(VarId{2})->second, GroupId{20});
+  EXPECT_TRUE(m.erase(VarId{1}));
+  EXPECT_FALSE(m.erase(VarId{1}));
+  EXPECT_FALSE(m.contains(VarId{1}));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  common::FlatMap<std::uint64_t, Time> m;
+  EXPECT_EQ(m[7], 0);  // value-initialized, like unordered_map
+  m[7] = usec(5);
+  EXPECT_EQ(m[7], usec(5));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EmplaceReportsInsertion) {
+  common::FlatMap<VarId, GroupId> m;
+  auto [it1, fresh1] = m.emplace(VarId{3}, GroupId{1});
+  EXPECT_TRUE(fresh1);
+  EXPECT_EQ(it1->second, GroupId{1});
+  auto [it2, fresh2] = m.emplace(VarId{3}, GroupId{2});
+  EXPECT_FALSE(fresh2);  // existing entry untouched, like unordered_map
+  EXPECT_EQ(it2->second, GroupId{1});
+}
+
+TEST(FlatMap, IterationCoversAllEntries) {
+  common::FlatMap<VarId, GroupId> m;
+  for (std::uint64_t i = 0; i < 100; ++i) m[VarId{i}] = GroupId{static_cast<std::uint32_t>(i)};
+  std::set<std::uint64_t> seen;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k.value, v.value);
+    seen.insert(k.value);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(FlatMap, EqualityIsOrderIndependent) {
+  common::FlatMap<VarId, GroupId> a, b;
+  b.reserve(512);  // different table size, same contents
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    a[VarId{i}] = GroupId{1};
+    b[VarId{49 - i}] = GroupId{1};
+  }
+  EXPECT_EQ(a, b);
+  b[VarId{7}] = GroupId{2};
+  EXPECT_NE(a, b);
+}
+
+TEST(FlatMap, ReserveAvoidsRehash) {
+  common::FlatMap<VarId, GroupId> m;
+  m.reserve(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) m[VarId{i}] = GroupId{0};
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(m.contains(VarId{i}));
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderChurn) {
+  // Reference-model stress: random insert/overwrite/erase/clear against
+  // std::unordered_map, with lookups after every step. Backward-shift
+  // deletion is the subtle part — erase-heavy churn exercises it.
+  common::FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng{23};
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t k = rng.below(256);  // dense keys -> long probe chains
+    switch (rng.below(4)) {
+      case 0:
+      case 1:
+        flat[k] = step;
+        ref[k] = static_cast<std::uint64_t>(step);
+        break;
+      case 2:
+        EXPECT_EQ(flat.erase(k), ref.erase(k) > 0);
+        break;
+      case 3: {
+        auto fit = flat.find(k);
+        auto rit = ref.find(k);
+        ASSERT_EQ(fit != flat.end(), rit != ref.end());
+        if (rit != ref.end()) EXPECT_EQ(fit->second, rit->second);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto it = flat.find(k);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(it->second, v);
+  }
+  flat.clear();
+  EXPECT_TRUE(flat.empty());
+  EXPECT_FALSE(flat.contains(1));
+}
+
+TEST(FlatMap, EraseByIterator) {
+  common::FlatMap<VarId, GroupId> m;
+  m[VarId{1}] = GroupId{1};
+  m[VarId{2}] = GroupId{2};
+  m.erase(m.find(VarId{1}));
+  EXPECT_FALSE(m.contains(VarId{1}));
+  EXPECT_TRUE(m.contains(VarId{2}));
+}
+
+TEST(Pool, ReusesFreedBlocks) {
+  const auto before = common::Pool::stats();
+  void* a = common::Pool::allocate(64);
+  common::Pool::deallocate(a, 64);
+  void* b = common::Pool::allocate(64);
+  EXPECT_EQ(a, b);  // same size class, LIFO free list
+  common::Pool::deallocate(b, 64);
+  const auto after = common::Pool::stats();
+  EXPECT_GE(after.reused, before.reused + 1);
+}
+
+TEST(Pool, LargeBlocksBypassThePool) {
+  void* p = common::Pool::allocate(4096);
+  ASSERT_NE(p, nullptr);
+  common::Pool::deallocate(p, 4096);
+}
+
+TEST(PoolAllocator, WorksWithAllocateShared) {
+  struct Payload {
+    std::uint64_t a, b;
+  };
+  auto sp = std::allocate_shared<Payload>(common::PoolAllocator<Payload>{});
+  sp->a = 1;
+  sp->b = 2;
+  auto sp2 = sp;
+  sp.reset();
+  EXPECT_EQ(sp2->a + sp2->b, 3u);
 }
 
 }  // namespace

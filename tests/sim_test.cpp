@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace dssmr::sim {
@@ -142,6 +144,83 @@ TEST(Engine, PendingExcludesCancelled) {
   EXPECT_EQ(e.pending(), 2u);
   e.cancel(a);
   EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, CancelAfterFireIsNoopAndKeepsPendingExact) {
+  // Regression: the old lazy-cancel set let a cancel() of an already-fired
+  // timer poison pending() forever. The generation-tagged ids make it a
+  // no-op and keep the count exact.
+  Engine e;
+  int fired = 0;
+  const TimerId a = e.schedule(usec(1), [&] { ++fired; });
+  const TimerId b = e.schedule(usec(2), [&] { ++fired; });
+  EXPECT_TRUE(e.step());  // fires a
+  EXPECT_EQ(e.pending(), 1u);
+  e.cancel(a);  // already fired: must not touch the count
+  EXPECT_EQ(e.pending(), 1u);
+  e.cancel(a);  // and must stay idempotent
+  EXPECT_EQ(e.pending(), 1u);
+  e.cancel(b);  // genuinely pending
+  EXPECT_EQ(e.pending(), 0u);
+  e.cancel(TimerId{0xdeadbeef00000001ull});  // never issued
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.events_executed(), 1u);
+}
+
+TEST(Engine, DoubleCancelCountsOnce) {
+  Engine e;
+  const TimerId a = e.schedule(usec(1), [] {});
+  e.schedule(usec(2), [] {});
+  e.cancel(a);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, StaleCancelOfReusedSlotIsNoop) {
+  // After a timer fires (or is cancelled) its slot is recycled for new
+  // timers; a stale id for the old occupant must not cancel the new one.
+  Engine e;
+  int fired = 0;
+  const TimerId old_id = e.schedule(usec(1), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  // Reuses old_id's slot but with a fresh generation.
+  const TimerId fresh = e.schedule(usec(1), [&] { ++fired; });
+  EXPECT_NE(old_id, fresh);
+  e.cancel(old_id);  // stale: different generation, same slot
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PendingExactUnderChurn) {
+  Engine e;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(e.schedule(usec(i + 1), [] {}));
+  EXPECT_EQ(e.pending(), 100u);
+  for (int i = 0; i < 100; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(e.pending(), 50u);
+  // Cancelling the already-cancelled half again changes nothing.
+  for (int i = 0; i < 100; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(e.pending(), 50u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.events_executed(), 50u);
+}
+
+TEST(Engine, CallbackLargerThanInlineBufferStillWorks) {
+  // Callbacks above the small-buffer threshold take the heap path.
+  Engine e;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes captured by value
+  big.fill(7);
+  std::uint64_t sum = 0;
+  e.schedule(usec(1), [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  e.run();
+  EXPECT_EQ(sum, 7u * 16u);
 }
 
 TEST(Engine, DeterministicReplay) {

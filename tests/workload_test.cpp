@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "chirper/chirper.h"
 #include "workload/chirper_workload.h"
@@ -75,6 +76,40 @@ TEST(Zipf, SkewsTowardLowRanks) {
   }
   // Top-10 of 1000 gets far more than its uniform 1% share.
   EXPECT_GT(low, total / 10);
+}
+
+TEST(Zipf, AliasMatchesCdfDistribution) {
+  // sample() (alias method) and sample_cdf() (reference inversion) must draw
+  // from the same distribution. Compare per-rank frequencies over a large
+  // sample; a table-construction bug would skew individual ranks well past
+  // this tolerance.
+  const std::size_t n = 50;
+  Zipf z{n, 0.99};
+  Rng rng_alias{21}, rng_cdf{21};
+  const int draws = 200000;
+  std::vector<int> alias_counts(n, 0), cdf_counts(n, 0);
+  for (int i = 0; i < draws; ++i) {
+    alias_counts[z.sample(rng_alias)]++;
+    cdf_counts[z.sample_cdf(rng_cdf)]++;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pa = alias_counts[k] / static_cast<double>(draws);
+    const double pc = cdf_counts[k] / static_cast<double>(draws);
+    EXPECT_NEAR(pa, pc, 0.01) << "rank " << k;
+  }
+  // The head of the distribution must dominate in both samplers.
+  EXPECT_GT(alias_counts[0], alias_counts[n - 1]);
+  EXPECT_GT(cdf_counts[0], cdf_counts[n - 1]);
+}
+
+TEST(Zipf, AliasConsumesOneUniformPerDraw) {
+  // Both samplers consume exactly one uniform() per call, so swapping one for
+  // the other leaves every later draw of a shared Rng stream unchanged.
+  Zipf z{100, 0.8};
+  Rng a{33}, b{33};
+  (void)z.sample(a);
+  (void)z.sample_cdf(b);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
 }
 
 TEST(SocialGraph, AddRemoveEdges) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two perf_suite reports (schema dssmr.perf.v1) with tolerance bands.
+
+Usage:
+    tools/perf_compare.py BASELINE.json CURRENT.json [--tolerance 0.25] [--hard]
+
+Exit codes: 0 = within tolerance (or warn-only mode), 1 = regression in
+--hard mode, 2 = bad input.
+
+Rate metrics (items_per_sec) may regress by at most `tolerance` (fractional;
+default 0.25 — wall-clock numbers on shared CI runners are noisy, so the
+default band is wide). Improvements never fail. The `results_identical`
+marker from sweep.parallel must stay 1 — a parallel-determinism break is an
+error at any tolerance, because it is not a timing measurement.
+
+CI runs this warn-only after `perf_suite --smoke --json`; see EXPERIMENTS.md
+for the promotion path to --hard.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "dssmr.perf.v1":
+        print(f"perf_compare: {path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max fractional rate regression before flagging (default 0.25)")
+    ap.add_argument("--hard", action="store_true",
+                    help="exit 1 on regression instead of warn-only")
+    args = ap.parse_args()
+
+    base = {b["name"]: b for b in load(args.baseline)["benches"]}
+    cur = {b["name"]: b for b in load(args.current)["benches"]}
+
+    regressions = []
+    rows = []
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            regressions.append(f"{name}: missing from current report")
+            continue
+        b_rate, c_rate = b.get("items_per_sec", 0.0), c.get("items_per_sec", 0.0)
+        if b_rate > 0:
+            ratio = c_rate / b_rate
+            flag = ""
+            if ratio < 1.0 - args.tolerance:
+                flag = "REGRESSION"
+                regressions.append(
+                    f"{name}: {c_rate:.0f} items/s vs baseline {b_rate:.0f} "
+                    f"({(1.0 - ratio) * 100:.1f}% slower, tolerance "
+                    f"{args.tolerance * 100:.0f}%)")
+            rows.append((name, b_rate, c_rate, ratio, flag))
+        if b.get("results_identical") == 1 and c.get("results_identical") != 1:
+            regressions.append(f"{name}: parallel sweep results no longer identical")
+
+    for name in sorted(set(cur) - set(base)):
+        rows.append((name, 0.0, cur[name].get("items_per_sec", 0.0), 0.0, "new"))
+
+    print(f"{'bench':<24} {'baseline/s':>14} {'current/s':>14} {'ratio':>7}")
+    for name, b_rate, c_rate, ratio, flag in rows:
+        print(f"{name:<24} {b_rate:>14.0f} {c_rate:>14.0f} {ratio:>7.2f} {flag}")
+
+    if regressions:
+        print()
+        for r in regressions:
+            print(f"perf_compare: {'FAIL' if args.hard else 'WARN'}: {r}",
+                  file=sys.stderr)
+        if args.hard:
+            sys.exit(1)
+    else:
+        print("\nperf_compare: all benches within tolerance")
+
+
+if __name__ == "__main__":
+    main()

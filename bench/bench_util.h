@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "stats/run_record.h"
@@ -32,6 +34,10 @@ namespace dssmr::bench {
 ///                          trace_event file (default CHROME_<exp>.json) for
 ///                          chrome://tracing / Perfetto; benches forward
 ///                          spans_wanted() into their run configs
+///   --nemesis <plan>       run every point under a fault plan — a shipped
+///                          plan name or fault-plan DSL (see
+///                          fault/fault_plan.h); benches forward nemesis()
+///                          into their run configs
 class RunRecordSink {
  public:
   RunRecordSink(int argc, char** argv, std::string experiment)
@@ -54,10 +60,24 @@ class RunRecordSink {
         trace_path_ = next_or("TRACE_" + experiment_ + ".jsonl");
       } else if (std::strcmp(argv[i], "--trace-chrome") == 0) {
         chrome_path_ = next_or("CHROME_" + experiment_ + ".json");
+      } else if (std::strcmp(argv[i], "--nemesis") == 0) {
+        nemesis_ = next_or("");
+        if (nemesis_.empty()) {
+          std::fprintf(stderr, "--nemesis needs a plan name or fault-plan spec\n");
+          bad_args_ = true;
+        } else {
+          try {
+            fault::resolve_plan(nemesis_);  // surface parse errors here...
+          } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            nemesis_ = "";  // ...and keep the sweep fault-free so finish()
+            bad_args_ = true;  // can return 2 instead of crashing mid-run
+          }
+        }
       } else {
         std::fprintf(stderr,
                      "unknown flag %s (supported: --json [path], --jobs N, "
-                     "--trace [path], --trace-chrome [path])\n",
+                     "--trace [path], --trace-chrome [path], --nemesis <plan>)\n",
                      argv[i]);
         bad_args_ = true;
       }
@@ -79,6 +99,8 @@ class RunRecordSink {
   /// large for Perfetto (and for CI artifacts). Phase histograms are
   /// unaffected — only the exported span list is truncated.
   std::size_t spans_capacity() const { return 1u << 16; }
+  /// Benches set ChirperRunConfig::nemesis to this (empty = no faults).
+  const std::string& nemesis() const { return nemesis_; }
 
   void add(stats::RunRecord record) { records_.push_back(std::move(record)); }
 
@@ -132,6 +154,7 @@ class RunRecordSink {
   std::string json_path_;
   std::string trace_path_;
   std::string chrome_path_;
+  std::string nemesis_;
   std::size_t jobs_ = 1;
   bool bad_args_ = false;
   std::vector<stats::RunRecord> records_;

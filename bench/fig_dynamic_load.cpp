@@ -8,10 +8,12 @@
 // after repartitionings as the placement matches the emerging communities,
 // while the plain DS-SMR oracle improves only via greedy per-command moves.
 #include <memory>
+#include <optional>
 
 #include "bench_util.h"
 #include "chirper/chirper.h"
 #include "core/dynastar_policy.h"
+#include "fault/nemesis.h"
 #include "workload/chirper_workload.h"
 
 namespace {
@@ -117,6 +119,12 @@ int main(int argc, char** argv) {
     d.start();
     d.settle();
 
+    std::optional<fault::Nemesis> nemesis;
+    if (!sink.nemesis().empty()) {
+      nemesis.emplace(d, fault::resolve_plan(sink.nemesis()));
+      nemesis->arm();
+    }
+
     GrowingWorkload wl{1500, /*target_edges=*/3000, 7};
     harness::ClosedLoopDriver driver{d, [&wl] { return wl.next(); }};
     driver.run(/*warmup=*/0, /*measure=*/sec(12));
@@ -138,6 +146,7 @@ int main(int argc, char** argv) {
     out.rec.add_meta("clients", std::to_string(dep.clients));
     out.rec.add_meta("seed", std::to_string(dep.seed));
     out.rec.add_meta("repartitionings", std::to_string(out.repartitionings));
+    out.rec.add_meta("nemesis", sink.nemesis().empty() ? "none" : sink.nemesis());
     return out;
   });
 

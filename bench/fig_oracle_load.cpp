@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     cfg.measure = sec(3);
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
+    cfg.nemesis = sink.nemesis();
     cfg.spans_capacity = sink.spans_capacity();
     points.push_back({cfg, cache ? "cache-on" : "cache-off"});
   }
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     auto cfg = base_config(4);
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
+    cfg.nemesis = sink.nemesis();
     cfg.spans_capacity = sink.spans_capacity();
     points.push_back({cfg, "busy-over-time"});
   }
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
     auto cfg = base_config(parts);
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
+    cfg.nemesis = sink.nemesis();
     cfg.spans_capacity = sink.spans_capacity();
     points.push_back({cfg, "parts-" + std::to_string(parts)});
   }

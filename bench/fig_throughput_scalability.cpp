@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
         cfg.seed = 42;
         cfg.trace = sink.trace_wanted();
         cfg.spans = sink.spans_wanted();
+        cfg.nemesis = sink.nemesis();
         cfg.spans_capacity = sink.spans_capacity();
         points.push_back({cfg, std::string(c.label) + "/" + mix_name(mix) + "/p" +
                                    std::to_string(parts)});

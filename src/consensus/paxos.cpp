@@ -69,6 +69,22 @@ void PaxosCore::halt() {
   election_timer_ = heartbeat_timer_ = resend_timer_ = batch_timer_ = 0;
 }
 
+void PaxosCore::restart() {
+  if (!halted_) return;
+  halted_ = false;
+  role_ = Role::Follower;
+  ballot_ = 0;
+  p1b_granted_.clear();
+  p1b_accepted_.clear();
+  proposals_.clear();
+  pending_.clear();
+  submitted_ids_.clear();
+  // The election timer doubles as the catch-up trigger: the current leader's
+  // next heartbeat arrives well before it fires and carries a committed slot
+  // ahead of ours, so maybe_request_catchup() pulls the missed log tail.
+  arm_election_timer();
+}
+
 ProcessId PaxosCore::leader_hint() const {
   if (role_ == Role::Leader) return self_;
   if (max_seen_ballot_ == 0) return members_[0];

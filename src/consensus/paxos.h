@@ -173,6 +173,13 @@ class PaxosCore {
   /// silence a node without tearing down the object).
   void halt();
 
+  /// Rejoins after halt(): back to follower, proposer-side state wiped.
+  /// Acceptor state (promised ballot, accepted slots) survives — it is the
+  /// "stable storage" that makes crash-recovery safe — and the missed log
+  /// tail is re-learned through the existing heartbeat -> LearnReq ->
+  /// CommitMsg machinery. Callers pair this with Network::recover.
+  void restart();
+
   /// Event trace for leader changes (owned by the deployment's Metrics; may
   /// stay null for standalone cores).
   void set_trace(stats::Trace* trace) { trace_ = trace; }

@@ -38,6 +38,7 @@ void PartitionServer::init_partition(net::Network& network,
   DSSMR_ASSERT(app_ != nullptr);
   exec_ = std::make_unique<smr::ExecutionEngine>(network.engine());
   config_ = config;
+  completed_ = BoundedMap<MsgId, CachedReply>{config_.reply_cache_capacity};
   metrics_ = metrics;
   auto handle = [this](const char* name) {
     return metrics_ != nullptr ? &metrics_->counter_handle(name) : &dummy_counter();
@@ -87,8 +88,16 @@ void PartitionServer::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t 
 PartitionServer::Coord& PartitionServer::coord(MsgId cmd_id) { return coord_[cmd_id]; }
 
 void PartitionServer::reply_to(ProcessId client, MsgId cmd_id, ReplyCode code,
-                               net::MessagePtr app_reply, bool cache, ReplyTiming timing) {
+                               net::MessagePtr app_reply, bool cache, ReplyTiming timing,
+                               bool access_final) {
   if (cache) completed_.put(cmd_id, CachedReply{code, app_reply, timing});
+  if (access_final) {
+    // Watermark update runs on every replica (deliveries are identical across
+    // replicas, so the dedup state stays deterministic and survives leader
+    // changes). ids are (client pid << 32) | seq.
+    AccessFinal& f = access_final_[static_cast<std::uint32_t>(cmd_id.value >> 32)];
+    if (cmd_id.value >= f.cmd_id) f = AccessFinal{cmd_id.value, {code, app_reply, timing}};
+  }
   if (client == kNoProcess) return;
   if (!is_leader()) return;  // a peer replica's leader sends it
   send_direct(client,
@@ -112,6 +121,21 @@ void PartitionServer::on_amdeliver(const multicast::AmcastMessage& m) {
   // Retransmission delivered while the original is still queued: ignore it
   // (the queued task will answer). Processing it would enqueue a duplicate.
   if (inflight_.contains(cmd.id)) return;
+
+  // Reply-cache miss is not proof the command is new: the cache is bounded,
+  // and a slow retransmission can outlive its entry. The per-client access
+  // watermark catches that — at-most-once even after eviction.
+  if (cmd.type == CommandType::kAccess) {
+    auto it = access_final_.find(static_cast<std::uint32_t>(cmd.id.value >> 32));
+    if (it != access_final_.end() && cmd.id.value <= it->second.cmd_id) {
+      if (cmd.id.value == it->second.cmd_id && is_leader() && client != kNoProcess) {
+        const CachedReply& r = it->second.reply;
+        send_direct(client,
+                    net::make_msg<ReplyMsg>(cmd.id, r.code, group(), r.app_reply, r.timing));
+      }
+      return;
+    }
+  }
 
   switch (cmd.type) {
     case CommandType::kAccess:
@@ -192,7 +216,7 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
             smr::ExecutionView view{store_};
             net::MessagePtr app_reply = app_->execute(cmd, view);
             reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true,
-                     timing);
+                     timing, /*access_final=*/true);
           },
   });
 }
@@ -257,7 +281,7 @@ void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
             net::MessagePtr app_reply = app_->execute(cmd, view);
             if (it != coord_.end()) coord_.erase(it);
             reply_to(client, cmd.id, ReplyCode::kOk, std::move(app_reply), /*cache=*/true,
-                     ReplyTiming{delivered, exec_start, exec_end});
+                     ReplyTiming{delivered, exec_start, exec_end}, /*access_final=*/true);
           },
   });
 }

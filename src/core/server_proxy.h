@@ -50,6 +50,9 @@ struct PartitionServerConfig {
   Duration create_delete_service = usec(5);
   /// Oracle group (destination of create/delete signals).
   GroupId oracle_group = kNoGroup;
+  /// Capacity of the bounded reply cache (`completed_`). Tests shrink it to
+  /// force eviction and exercise the per-client dedup fallback.
+  std::size_t reply_cache_capacity = 1 << 15;
 };
 
 class PartitionServer : public multicast::GroupNode {
@@ -95,8 +98,11 @@ class PartitionServer : public multicast::GroupNode {
   void deliver_create(const multicast::AmcastMessage& m, const smr::Command& cmd);
   void deliver_delete(const multicast::AmcastMessage& m, const smr::Command& cmd);
 
+  /// `access_final` marks the settled outcome of a kAccess command; it also
+  /// advances the per-client dedup watermark (see `access_final_`).
   void reply_to(ProcessId client, MsgId cmd_id, smr::ReplyCode code,
-                net::MessagePtr app_reply, bool cache, smr::ReplyTiming timing = {});
+                net::MessagePtr app_reply, bool cache, smr::ReplyTiming timing = {},
+                bool access_final = false);
   Coord& coord(MsgId cmd_id);
   void bump(stats::Counter* c);
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
@@ -117,6 +123,21 @@ class PartitionServer : public multicast::GroupNode {
   /// forever for already-consumed shipments for moves).
   std::unordered_set<MsgId> inflight_;
   BoundedMap<MsgId, CachedReply> completed_{1 << 15};
+  /// Per-client at-most-once backstop for access commands. The reply cache is
+  /// bounded, so under heavy load a slow (not lost) retransmission can arrive
+  /// after its entry was evicted and execute a second time. Command ids are
+  /// monotone per issuing proxy and clients are closed-loop (a client issues
+  /// access N+1 only after access N's final reply), so per client it suffices
+  /// to remember the highest finally-answered access id: a delivered access
+  /// at or below it is a stale retransmission — answer the stored reply on an
+  /// exact id match, drop silently otherwise. Move/create/delete ids do not
+  /// participate: a client's move legitimately settles before the (older-id)
+  /// command it unblocks.
+  struct AccessFinal {
+    std::uint64_t cmd_id = 0;
+    CachedReply reply;
+  };
+  std::unordered_map<std::uint32_t, AccessFinal> access_final_;
   PartitionServerConfig config_;
   stats::Metrics* metrics_ = nullptr;
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include <optional>
+
 #include "chirper/chirper.h"
 #include "common/assert.h"
 #include "core/dynastar_policy.h"
+#include "fault/nemesis.h"
 #include "partition/partitioner.h"
 
 namespace dssmr::harness {
@@ -155,6 +158,14 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   d.start();
   d.settle();
 
+  // The nemesis lives for the whole driven run; its scheduled events capture
+  // `*nemesis`, so it must outlive driver.run().
+  std::optional<fault::Nemesis> nemesis;
+  if (!cfg.nemesis.empty()) {
+    nemesis.emplace(d, fault::resolve_plan(cfg.nemesis));
+    nemesis->arm();
+  }
+
   workload::ChirperWorkload wl{prepared.graph, cfg.workload, cfg.seed * 31 + 7};
   ClosedLoopDriver driver{d, [&wl] { return wl.next(); }};
   driver.run(cfg.warmup, cfg.measure);
@@ -213,6 +224,7 @@ stats::RunRecord make_run_record(const ChirperRunConfig& cfg, const RunResult& r
   rec.add_meta("warmup_us", std::to_string(cfg.warmup));
   rec.add_meta("measure_us", std::to_string(cfg.measure));
   rec.add_meta("client_cache", cfg.client_cache ? "true" : "false");
+  rec.add_meta("nemesis", cfg.nemesis.empty() ? "none" : cfg.nemesis);
   rec.add_meta("placement_edge_cut", std::to_string(r.placement_edge_cut));
   rec.add_meta("throughput_cps", std::to_string(r.throughput_cps));
   rec.add_meta("latency_p50_us", std::to_string(r.latency_p50_us));

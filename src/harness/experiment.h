@@ -111,6 +111,10 @@ struct ChirperRunConfig {
   /// Retained-span cap forwarded to DeploymentConfig::spans_capacity
   /// (0 = SpanStore default). Histograms are unaffected by the cap.
   std::size_t spans_capacity = 0;
+
+  /// Fault plan for the run: a shipped plan name or fault-plan DSL (see
+  /// fault/fault_plan.h), armed right after settle(). Empty = no faults.
+  std::string nemesis;
 };
 
 struct RunResult {

@@ -32,6 +32,12 @@ void AmcastCore::halt() {
   retry_timer_ = 0;
 }
 
+void AmcastCore::restart() {
+  if (!halted_) return;
+  halted_ = false;
+  arm_retry_timer();
+}
+
 std::uint64_t AmcastCore::Pending::bound() const {
   if (final_ts) return *final_ts;
   std::uint64_t b = local_ts.value_or(0);
@@ -245,11 +251,23 @@ void GroupNode::set_trace(stats::Trace* trace) {
 }
 
 void GroupNode::halt_node() {
+  halted_ = true;
   if (paxos_ != nullptr) paxos_->halt();
   if (amcast_ != nullptr) amcast_->halt();
 }
 
+void GroupNode::restart_node() {
+  if (!halted_) return;
+  halted_ = false;
+  if (paxos_ != nullptr) paxos_->restart();
+  if (amcast_ != nullptr) amcast_->restart();
+}
+
 void GroupNode::on_message(ProcessId from, const net::MessagePtr& m) {
+  // A crashed replica is dead by itself: without this guard only the Paxos
+  // core ignored traffic, while timestamp queries, reliable-multicast relays
+  // and direct messages were still served — a "crashed" node that answers.
+  if (halted_) return;
   if (paxos_->handle(from, m)) return;
   if (const auto* sub = net::msg_cast<SubmitToLog>(m)) {
     if (sub->gid == gid_ && paxos_->is_leader()) paxos_->submit(sub->entry);

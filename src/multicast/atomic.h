@@ -87,6 +87,10 @@ class AmcastCore {
   std::optional<std::uint64_t> lookup_ts(MsgId mid) const;
 
   void halt();
+  /// Undoes halt(): re-arms the timestamp-retry timer. Pending state is kept
+  /// — the replica re-learns any missed log entries through Paxos and the
+  /// dedup here absorbs the replay.
+  void restart();
 
   std::uint64_t delivered_count() const { return delivered_count_; }
   std::size_t pending_count() const { return pending_.size(); }
@@ -147,8 +151,17 @@ class GroupNode : public net::Actor {
   /// Arms Paxos timers; call on every node after the whole deployment is wired.
   virtual void start();
 
-  /// Stops timers (simulated crash, together with Network::crash).
+  /// Stops timers and silences the node (simulated crash, usually together
+  /// with Network::crash). A halted node processes no messages at all: even
+  /// if the network still delivers to it, it answers nothing.
   void halt_node();
+
+  /// Rejoins after halt_node(): the node comes back as a follower and
+  /// re-learns the log it missed via Paxos catch-up. Pair with
+  /// Network::recover when the crash also cut the network.
+  void restart_node();
+
+  bool halted() const { return halted_; }
 
   void on_message(ProcessId from, const net::MessagePtr& m) final;
 
@@ -199,6 +212,7 @@ class GroupNode : public net::Actor {
   const Directory* directory_ = nullptr;
   GroupId gid_ = kNoGroup;
   GroupNodeConfig config_;
+  bool halted_ = false;
   std::unique_ptr<consensus::PaxosCore> paxos_;
   std::unique_ptr<AmcastCore> amcast_;
   std::unique_ptr<RmcastEngine> rmcast_;

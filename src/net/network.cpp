@@ -7,8 +7,16 @@
 
 namespace dssmr::net {
 
+namespace {
+
+double clamp01(double p) { return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p); }
+
+}  // namespace
+
 Network::Network(sim::Engine& engine, NetworkConfig config, std::uint64_t seed)
-    : engine_(engine), config_(config), rng_(seed) {}
+    : engine_(engine), config_(config), rng_(seed) {
+  config_.drop_probability = clamp01(config_.drop_probability);
+}
 
 ProcessId Network::add_process(Actor& actor, int rack) {
   DSSMR_ASSERT_MSG(actor.pid_ == kNoProcess, "actor registered twice");
@@ -41,8 +49,22 @@ void Network::send_one(ProcessId from, ProcessId to, const MessagePtr& m,
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
 
-  if (crashed(from) || !link_up(from, to) || rng_.chance(config_.drop_probability)) {
+  // Attributed drop checks, in the same short-circuit order as before (the
+  // random draw happens only for messages that survive the deterministic
+  // checks, keeping the rng stream — and thus run records — stable).
+  if (crashed(from)) {
     ++stats_.messages_dropped;
+    ++stats_.dropped_sender_crashed;
+    return;
+  }
+  if (!link_up(from, to)) {
+    ++stats_.messages_dropped;
+    ++stats_.dropped_link_down;
+    return;
+  }
+  if (rng_.chance(config_.drop_probability)) {
+    ++stats_.messages_dropped;
+    ++stats_.dropped_random;
     return;
   }
 
@@ -55,8 +77,14 @@ void Network::send_one(ProcessId from, ProcessId to, const MessagePtr& m,
   }
 
   engine_.schedule_at(arrival, [this, from, to, m] {
-    if (crashed(to) || !link_up(from, to)) {
+    if (crashed(to)) {
       ++stats_.messages_dropped;
+      ++stats_.dropped_receiver_crashed;
+      return;
+    }
+    if (!link_up(from, to)) {
+      ++stats_.messages_dropped;
+      ++stats_.dropped_link_down;
       return;
     }
     ++stats_.messages_delivered;
@@ -94,16 +122,23 @@ void Network::recover(ProcessId p) {
 }
 
 void Network::set_link(ProcessId a, ProcessId b, bool up) {
+  set_link_directed(a, b, up);
+  set_link_directed(b, a, up);
+}
+
+void Network::set_link_directed(ProcessId from, ProcessId to, bool up) {
   if (up) {
-    down_links_.erase(link_key(a, b));
+    down_links_.erase(link_key(from, to));
   } else {
-    down_links_.insert(link_key(a, b));
+    down_links_.insert(link_key(from, to));
   }
 }
 
-bool Network::link_up(ProcessId a, ProcessId b) const {
-  return down_links_.empty() || !down_links_.contains(link_key(a, b));
+bool Network::link_up(ProcessId from, ProcessId to) const {
+  return down_links_.empty() || !down_links_.contains(link_key(from, to));
 }
+
+void Network::set_drop_probability(double p) { config_.drop_probability = clamp01(p); }
 
 void Network::partition_sets(const std::vector<ProcessId>& a,
                              const std::vector<ProcessId>& b, bool up) {

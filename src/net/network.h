@@ -52,8 +52,16 @@ struct NetworkConfig {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
+  /// Total drops (sum of the attributed categories below).
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  /// Drop attribution: a fault-injection run needs to distinguish "the sender
+  /// was crashed" from "the link was cut" from "random loss" to explain where
+  /// traffic went (messages_dropped alone conflates all of them).
+  std::uint64_t dropped_sender_crashed = 0;
+  std::uint64_t dropped_receiver_crashed = 0;
+  std::uint64_t dropped_link_down = 0;
+  std::uint64_t dropped_random = 0;
 };
 
 class Network {
@@ -83,11 +91,14 @@ class Network {
     return p.value < crashed_.size() && crashed_[p.value] != 0;
   }
 
-  /// Cuts / restores the (symmetric) link between two processes. While a
-  /// link is down, traffic between the pair — including messages already in
+  /// Cuts / restores both directions of the link between two processes.
+  /// While a link is down, traffic over it — including messages already in
   /// flight — is dropped. Used to inject network partitions in tests.
   void set_link(ProcessId a, ProcessId b, bool up);
-  bool link_up(ProcessId a, ProcessId b) const;
+  /// Directional variant: controls only `from` -> `to`, so asymmetric
+  /// failures (a hears b, b never hears a) can be expressed.
+  void set_link_directed(ProcessId from, ProcessId to, bool up);
+  bool link_up(ProcessId from, ProcessId to) const;
 
   /// Cuts every link between the two sets (a full network partition).
   void partition_sets(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b,
@@ -99,8 +110,11 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   const NetworkConfig& config() const { return config_; }
 
-  /// Replaces the drop probability (used by fault-injection tests mid-run).
-  void set_drop_probability(double p) { config_.drop_probability = p; }
+  /// Replaces the drop probability (used by fault injection mid-run).
+  /// Out-of-range values are clamped to [0, 1] — Rng::chance would clamp
+  /// silently anyway, and a plan asking for "150% loss" should behave like a
+  /// dead network, not wrap around or be ignored.
+  void set_drop_probability(double p);
 
  private:
   Duration transit_time(ProcessId from, ProcessId to, std::size_t bytes);
@@ -112,14 +126,16 @@ class Network {
   Rng rng_;
   std::vector<Actor*> processes_;
   std::vector<int> racks_;
-  static std::uint64_t link_key(ProcessId a, ProcessId b) {
-    if (b < a) std::swap(a, b);
-    return (static_cast<std::uint64_t>(a.value) << 32) | b.value;
+  /// Directed: (from, to) order matters, so one direction of a pair can be
+  /// down while the other stays up.
+  static std::uint64_t link_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
   }
 
   /// Crash flags, indexed by pid (dense: checked twice per message).
   std::vector<std::uint8_t> crashed_;
-  /// Down links are rare (fault tests only); link_up() fast-paths on empty().
+  /// Down directed links are rare (fault runs only); link_up() fast-paths on
+  /// empty().
   std::unordered_set<std::uint64_t> down_links_;
   /// Earliest admissible arrival per (from,to) pair, for FIFO channels.
   common::FlatMap<std::uint64_t, Time> fifo_front_;

@@ -114,6 +114,29 @@ void write_run_records(std::ostream& os, std::string_view experiment,
       }
       w.end_object();
     }
+    // v3: fault-injection summary, present only for runs that carried
+    // `faults.*` metrics (a nemesis ran). Counters are re-emitted here with
+    // the prefix stripped so fault tooling has one stable place to look.
+    bool any_faults = false;
+    for (const auto& [name, c] : run.metrics.counters()) {
+      if (name.starts_with("faults.")) {
+        any_faults = true;
+        break;
+      }
+    }
+    if (any_faults) {
+      w.key("faults");
+      w.begin_object();
+      for (const auto& [name, c] : run.metrics.counters()) {
+        if (name.starts_with("faults.")) w.field(name.substr(7), c.value());
+      }
+      if (const Histogram* h = run.metrics.find_histogram("faults.time_to_new_leader_us");
+          h != nullptr && h->count() > 0) {
+        w.key("time_to_new_leader_us");
+        write_histogram(w, *h);
+      }
+      w.end_object();
+    }
     w.key("spans");
     write_spans_summary(w, spans);
     w.key("trace");

@@ -1,10 +1,12 @@
-// Machine-readable per-run records (schema "dssmr.run_record.v2").
+// Machine-readable per-run records (schema "dssmr.run_record.v3").
 //
 // Every bench binary can serialize its runs to JSON so the repo's perf
 // trajectory is diffable: counters, histogram summaries (count/min/max/mean/
 // p50/p95/p99 + a thinned CDF), every time series, the trace event counts,
 // span-phase latency histograms (the `phases` section, present when span
-// tracing ran — v2's addition, see stats/span.h), and free-form run metadata
+// tracing ran — v2's addition, see stats/span.h), a `faults` section
+// summarizing nemesis fault injection (present when a run carried `faults.*`
+// metrics — v3's addition, see fault/nemesis.h), and free-form run metadata
 // (strategy, partitions, seed, ...). The format is documented in
 // EXPERIMENTS.md; CI asserts one of these files parses and carries a nonzero
 // client.ops.
@@ -20,7 +22,7 @@
 
 namespace dssmr::stats {
 
-inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v2";
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v3";
 
 struct RunRecord {
   std::string label;

@@ -17,6 +17,8 @@ std::string_view to_string(TraceEvent e) {
     case TraceEvent::kFallback: return "fallback";
     case TraceEvent::kLeaderChange: return "leader_change";
     case TraceEvent::kAmcastDeliver: return "amcast_deliver";
+    case TraceEvent::kFaultInject: return "fault_inject";
+    case TraceEvent::kFaultRecover: return "fault_recover";
     case TraceEvent::kEventCount_: break;  // not a real event
   }
   return "unknown";

@@ -33,6 +33,8 @@ enum class TraceEvent : std::uint8_t {
   kFallback,       // client fell back to S-SMR all-partition execution
   kLeaderChange,   // a Paxos replica became leader of its group
   kAmcastDeliver,  // atomic multicast delivered a message (leader-side)
+  kFaultInject,    // nemesis injected a disruption (crash, leader kill, cut, drop burst)
+  kFaultRecover,   // nemesis restored something (recover, heal, drop burst end)
   // Add new events directly above and extend to_string(); the sentinel keeps
   // kTraceEventTypes (and every count array) sized automatically, and the
   // static_assert below fails until the last-member reference is updated —
@@ -42,7 +44,7 @@ enum class TraceEvent : std::uint8_t {
 
 inline constexpr std::size_t kTraceEventTypes =
     static_cast<std::size_t>(TraceEvent::kEventCount_);
-static_assert(kTraceEventTypes == static_cast<std::size_t>(TraceEvent::kAmcastDeliver) + 1,
+static_assert(kTraceEventTypes == static_cast<std::size_t>(TraceEvent::kFaultRecover) + 1,
               "TraceEvent changed: point this assert at the new last event and add "
               "its to_string() case (stats_test checks exhaustiveness)");
 

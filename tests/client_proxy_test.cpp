@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "harness/deployment.h"
+#include "smr/command.h"
 #include "smr/kv.h"
+#include "testing/cluster.h"
 #include "testing/dssmr_fixture.h"
 
 namespace dssmr::core {
@@ -163,6 +165,59 @@ TEST(ClientProxy, FailedMoveCachesOnlyInstalledVars) {
   EXPECT_EQ(d->client(0).cached_location(VarId{5}), std::nullopt);
   // The real variable did install at the move destination and may be cached.
   EXPECT_TRUE(d->client(0).cached_location(VarId{1}).has_value());
+}
+
+// At-most-once even after reply-cache eviction: a duplicate access whose
+// reply-cache entry was already evicted must be caught by the per-client
+// watermark — dropped silently below it, answered from the stored final
+// reply at it, and never re-executed. The real client proxy cannot produce
+// this ordering (total order delivers its retransmissions before any later
+// command), so the test forges CommandMsg deliveries from a bare multicast
+// client with hand-picked logical command ids.
+TEST(ClientProxy, DuplicateAfterReplyCacheEvictionExecutesOnce) {
+  auto cfg = small_config(1, Strategy::kDssmr, 1);
+  cfg.server.reply_cache_capacity = 1;  // every new reply evicts the previous
+  auto d = deployment(cfg, /*vars=*/2);
+
+  RecordingClient rc;
+  d->network().add_process(rc, 0);
+  rc.init_client_node(d->network(), d->server(0, 0).directory());
+
+  const auto forge = [&](std::uint64_t seq, smr::Command cmd) {
+    cmd.requester = rc.pid();
+    cmd.id = MsgId{(static_cast<std::uint64_t>(rc.pid().value) << 32) | seq};
+    rc.amcast({d->partition_gid(0)}, net::make_msg<smr::CommandMsg>(std::move(cmd)));
+    d->engine().run_for(msec(50));
+  };
+  const auto last_num = [&] {
+    const auto& r = net::msg_as<smr::ReplyMsg>(rc.replies.back());
+    EXPECT_EQ(r.code, ReplyCode::kOk);
+    return kv_num(r.app_reply);
+  };
+
+  forge(1, kv_add(VarId{0}, 3));
+  ASSERT_EQ(rc.replies.size(), 1u);
+  EXPECT_EQ(last_num(), 3);
+
+  // A second command evicts the add's entry from the capacity-1 reply cache...
+  forge(2, kv_get(VarId{0}));
+  ASSERT_EQ(rc.replies.size(), 2u);
+  EXPECT_EQ(last_num(), 3);
+
+  // ...so this stale duplicate misses the cache. Below the watermark it must
+  // be dropped without a reply — and without executing the add again.
+  forge(1, kv_add(VarId{0}, 3));
+  EXPECT_EQ(rc.replies.size(), 2u);
+
+  // A duplicate of the watermark command itself gets the stored reply resent.
+  forge(2, kv_get(VarId{0}));
+  ASSERT_EQ(rc.replies.size(), 3u);
+  EXPECT_EQ(last_num(), 3);
+
+  // Fresh read confirms the add applied exactly once.
+  forge(3, kv_get(VarId{0}));
+  ASSERT_EQ(rc.replies.size(), 4u);
+  EXPECT_EQ(last_num(), 3);
 }
 
 TEST(ClientProxy, StaticStrategyNeverTouchesTheOracle) {

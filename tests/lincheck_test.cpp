@@ -8,6 +8,7 @@
 #include "harness/deployment.h"
 #include "smr/kv.h"
 #include "testing/dssmr_fixture.h"
+#include "testing/history.h"
 
 namespace dssmr::lincheck {
 namespace {
@@ -121,68 +122,7 @@ TEST(Checker, MultiVariableSumChecked) {
 }
 
 // ---- property tests over real DS-SMR executions -------------------------------
-
-/// Runs `ops_per_client` random operations concurrently on every client and
-/// records the full history.
-std::vector<Operation> record_history(Deployment& d, std::size_t ops_per_client,
-                                      std::uint64_t seed, std::size_t num_vars) {
-  std::vector<Operation> history;
-  std::vector<std::size_t> remaining(d.client_count(), ops_per_client);
-  Rng rng{seed};
-
-  std::function<void(std::size_t)> kick = [&](std::size_t ci) {
-    if (remaining[ci] == 0) return;
-    remaining[ci]--;
-
-    smr::Command cmd;
-    const auto pick = [&] { return VarId{rng.below(num_vars)}; };
-    switch (rng.below(4)) {
-      case 0:
-        cmd = kv_get(pick());
-        break;
-      case 1:
-        cmd = kv_add(pick(), static_cast<std::int64_t>(rng.below(10)));
-        break;
-      case 2: {
-        VarId a = pick(), b = pick();
-        cmd = kv_sum(a == b ? std::vector<VarId>{a} : std::vector<VarId>{a, b}, pick());
-        break;
-      }
-      default:
-        cmd = kv_set({pick()}, std::to_string(rng.below(100)));
-        break;
-    }
-
-    const std::size_t idx = history.size();
-    history.push_back({});
-    history[idx].client = ci;
-    history[idx].invoke = d.engine().now();
-    history[idx].cmd = cmd;
-    d.client(ci).issue(cmd, [&, idx, ci](ReplyCode code, const net::MessagePtr& reply) {
-      history[idx].response = d.engine().now();
-      history[idx].code = code;
-      history[idx].reply = reply;
-      kick(ci);
-    });
-  };
-
-  for (std::size_t ci = 0; ci < d.client_count(); ++ci) {
-    d.engine().schedule(usec(static_cast<Duration>(rng.below(400))), [&kick, ci] { kick(ci); });
-  }
-  const Time deadline = d.engine().now() + sec(60);
-  while (d.engine().now() < deadline) {
-    d.engine().run_for(msec(20));
-    bool all_done = true;
-    for (std::size_t ci = 0; ci < d.client_count(); ++ci) {
-      all_done = all_done && remaining[ci] == 0 && !d.client(ci).busy();
-    }
-    if (all_done) break;
-  }
-  for (auto& o : history) {
-    DSSMR_ASSERT_MSG(o.response != 0, "operation still pending at history end");
-  }
-  return history;
-}
+// (the history recorder lives in testing/history.h, shared with fault_test)
 
 class DssmrLinearizability : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -154,6 +154,71 @@ TEST_F(NetFixture, DropProbabilityLosesMessages) {
   EXPECT_LT(b.received.size(), 650u);
 }
 
+TEST_F(NetFixture, DropsAreAttributedByCause) {
+  Sink a, b, c, d;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  auto pc = network.add_process(c, 0);
+  auto pd = network.add_process(d, 0);
+
+  network.crash(pa);
+  network.send(pa, pb, make_msg<Probe>(1));  // sender crashed
+  network.recover(pa);
+
+  network.crash(pc);
+  network.send(pa, pc, make_msg<Probe>(2));  // receiver still crashed at delivery
+
+  network.set_link(pa, pd, false);
+  network.send(pa, pd, make_msg<Probe>(3));  // link down at send time
+  network.set_link(pa, pd, true);
+
+  engine.run();
+  const NetworkStats& s = network.stats();
+  EXPECT_EQ(s.dropped_sender_crashed, 1u);
+  EXPECT_EQ(s.dropped_receiver_crashed, 1u);
+  EXPECT_EQ(s.dropped_link_down, 1u);
+  EXPECT_EQ(s.dropped_random, 0u);
+  // messages_dropped stays the total of all causes.
+  EXPECT_EQ(s.messages_dropped, 3u);
+}
+
+TEST_F(NetFixture, RandomDropsAttributedSeparately) {
+  NetworkConfig cfg = config();
+  cfg.drop_probability = 0.5;
+  sim::Engine e2;
+  Network n2(e2, cfg, 99);
+  Sink a, b;
+  auto pa = n2.add_process(a, 0);
+  auto pb = n2.add_process(b, 0);
+  for (int i = 0; i < 100; ++i) n2.send(pa, pb, make_msg<Probe>(i));
+  e2.run();
+  EXPECT_GT(n2.stats().dropped_random, 0u);
+  EXPECT_EQ(n2.stats().dropped_random, n2.stats().messages_dropped);
+  EXPECT_EQ(n2.stats().dropped_random + n2.stats().messages_delivered, 100u);
+}
+
+TEST_F(NetFixture, DropProbabilityIsClamped) {
+  // Out-of-range probabilities behave like their clamped value instead of
+  // invoking whatever Rng::chance does with garbage.
+  NetworkConfig cfg = config();
+  cfg.drop_probability = 1.5;  // clamped to 1.0 at construction
+  sim::Engine e2;
+  Network n2(e2, cfg, 7);
+  Sink a, b;
+  auto pa = n2.add_process(a, 0);
+  auto pb = n2.add_process(b, 0);
+  n2.send(pa, pb, make_msg<Probe>(1));
+  e2.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_DOUBLE_EQ(n2.config().drop_probability, 1.0);
+
+  n2.set_drop_probability(-0.5);  // clamped to 0.0
+  EXPECT_DOUBLE_EQ(n2.config().drop_probability, 0.0);
+  n2.send(pa, pb, make_msg<Probe>(2));
+  e2.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
 TEST_F(NetFixture, MultisendReachesAll) {
   Sink a, b, c;
   auto pa = network.add_process(a, 0);

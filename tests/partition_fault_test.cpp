@@ -50,6 +50,57 @@ TEST(NetLinks, InFlightMessagesDieWhenLinkCut) {
   EXPECT_EQ(b.got, 0);
 }
 
+TEST(NetLinks, DirectionalCutBlocksOnlyOneWay) {
+  sim::Engine engine;
+  net::Network network{engine, {}, 1};
+  struct Sink : net::Actor {
+    int got = 0;
+    void on_message(ProcessId, const net::MessagePtr&) override { ++got; }
+  } a, b;
+  auto pa = network.add_process(a, 0);
+  auto pb = network.add_process(b, 0);
+  network.set_link_directed(pa, pb, false);
+  EXPECT_FALSE(network.link_up(pa, pb));
+  EXPECT_TRUE(network.link_up(pb, pa));
+  network.send(pa, pb, net::make_msg<IntMsg>(1));
+  network.send(pb, pa, net::make_msg<IntMsg>(2));
+  engine.run();
+  EXPECT_EQ(b.got, 0);  // a -> b is cut
+  EXPECT_EQ(a.got, 1);  // b -> a still delivers
+  // The symmetric set_link(true) restores both directions.
+  network.set_link(pa, pb, true);
+  network.send(pa, pb, net::make_msg<IntMsg>(3));
+  engine.run();
+  EXPECT_EQ(b.got, 1);
+}
+
+TEST(NetLinks, HaltedNodeIsSilentWithoutNetworkCrash) {
+  // Regression: a halted GroupNode used to keep serving reliable-multicast
+  // floods, TsQuery and direct messages because only the Paxos handler
+  // checked halted — a "crashed" replica was only dead if the test also cut
+  // the network. halt_node() alone must silence the whole node.
+  Fabric f{1, 3, 1};
+  f.engine.run_for(msec(50));
+  // Halt a non-leader so the group keeps sequencing without re-election.
+  std::size_t victim = 3;
+  for (std::size_t r = 0; r < 3; ++r) {
+    if (!f.node(0, r).is_leader()) victim = r;
+  }
+  ASSERT_LT(victim, 3u);
+  f.node(0, victim).halt_node();
+  EXPECT_TRUE(f.node(0, victim).halted());
+
+  const std::size_t live = (victim + 1) % 3;
+  f.node(0, live).rmcast({GroupId{0}}, net::make_msg<IntMsg>(9));
+  f.clients[0]->amcast({GroupId{0}}, net::make_msg<IntMsg>(10));
+  f.engine.run_for(msec(300));
+
+  EXPECT_GE(f.node(0, live).rmdelivered.size(), 1u);
+  EXPECT_GE(f.node(0, live).amdelivered.size(), 1u);
+  EXPECT_TRUE(f.node(0, victim).rmdelivered.empty());
+  EXPECT_TRUE(f.node(0, victim).amdelivered.empty());
+}
+
 TEST(PaxosPartition, IsolatedLeaderIsReplaced) {
   Fabric f{1, 3, 1};
   f.engine.run_for(msec(50));
@@ -146,6 +197,93 @@ TEST(DssmrPartition, OperationsResumeAfterOracleHeals) {
   d.engine().run_for(sec(2));
   EXPECT_TRUE(done);  // client retransmission gets through after the heal
   EXPECT_EQ(rc, ReplyCode::kOk);
+}
+
+TEST(PaxosPartition, LeaderKillThenRestartRelearnsLog) {
+  Fabric f{1, 3, 1};
+  f.engine.run_for(msec(50));
+  std::size_t old_leader = 3;
+  for (std::size_t r = 0; r < 3; ++r) {
+    if (f.node(0, r).is_leader()) old_leader = r;
+  }
+  ASSERT_LT(old_leader, 3u);
+
+  // Full crash: network cut + node halted.
+  f.network.crash(f.node(0, old_leader).pid());
+  f.node(0, old_leader).halt_node();
+  f.engine.run_for(sec(2));
+
+  std::size_t new_leader = 3;
+  for (std::size_t r = 0; r < 3; ++r) {
+    if (r != old_leader && f.node(0, r).is_leader()) new_leader = r;
+  }
+  ASSERT_LT(new_leader, 3u) << "surviving majority did not elect a replacement";
+
+  // Decide a batch of messages the dead replica never saw.
+  for (int i = 0; i < 5; ++i) {
+    f.clients[0]->amcast({GroupId{0}}, net::make_msg<IntMsg>(i));
+  }
+  f.engine.run_for(msec(500));
+  ASSERT_EQ(f.node(0, new_leader).amdelivered.size(), 5u);
+  EXPECT_TRUE(f.node(0, old_leader).amdelivered.empty());
+
+  // Restart: rejoin as follower, re-learn the missed log via catch-up.
+  f.network.recover(f.node(0, old_leader).pid());
+  f.node(0, old_leader).restart_node();
+  EXPECT_FALSE(f.node(0, old_leader).halted());
+  f.engine.run_for(sec(2));
+
+  ASSERT_EQ(f.node(0, old_leader).amdelivered.size(), 5u)
+      << "restarted replica did not re-learn the log";
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.node(0, old_leader).amdelivered[i].id,
+              f.node(0, new_leader).amdelivered[i].id);
+  }
+}
+
+/// Shared body for the oracle-member-crash scenario so determinism can be
+/// asserted by running it twice.
+std::pair<std::uint64_t, std::uint64_t> run_oracle_member_crash() {
+  auto cfg = small_config(2, Strategy::kDssmr, 2);
+  cfg.client_cache = false;  // every op consults the oracle
+  Deployment d{cfg, kv::kv_app_factory(),
+               [] { return std::make_unique<core::DssmrPolicy>(); }};
+  for (std::size_t i = 0; i < 4; ++i) {
+    d.preload_var(VarId{i}, d.partition_gid(i % 2), kv::KvValue{7, ""});
+  }
+  d.start();
+  d.settle();
+
+  // Crash a non-leader oracle replica; consults must keep flowing.
+  std::size_t victim = 3;
+  for (std::size_t r = 0; r < 3; ++r) {
+    if (!d.oracle(r).is_leader()) victim = r;
+  }
+  EXPECT_LT(victim, 3u);
+  d.network().crash(d.oracle(victim).pid());
+  d.oracle(victim).halt_node();
+
+  std::uint64_t ok = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (run_op(d, i % 2, kv_get(VarId{static_cast<std::uint64_t>(i) % 4})) ==
+        ReplyCode::kOk) {
+      ++ok;
+    }
+  }
+
+  d.network().recover(d.oracle(victim).pid());
+  d.oracle(victim).restart_node();
+  d.engine().run_for(sec(2));
+  EXPECT_EQ(run_op(d, 0, kv_get(VarId{1})), ReplyCode::kOk);
+  EXPECT_TRUE(d.audit_consistency().empty());
+  return {ok, d.total_executed()};
+}
+
+TEST(DssmrPartition, OracleMemberCrashStaysLiveAndDeterministic) {
+  const auto first = run_oracle_member_crash();
+  EXPECT_EQ(first.first, 6u);  // all ops succeed with the oracle majority up
+  const auto second = run_oracle_member_crash();
+  EXPECT_EQ(first, second) << "same seed + same fault should replay identically";
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+// Concurrent-history recorder for linearizability property tests: drives
+// every client of a deployment with random KV operations and captures the
+// full invoke/response history for the Wing & Gong checker. Shared by
+// lincheck_test (crash-free and hand-rolled-fault histories) and fault_test
+// (histories under every shipped nemesis plan).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "harness/deployment.h"
+#include "lincheck/lincheck.h"
+#include "testing/dssmr_fixture.h"
+
+namespace dssmr::testing {
+
+/// Runs `ops_per_client` random operations concurrently on every client and
+/// records the full history. Waits out faults: a client whose command is
+/// stalled by a crash or partition simply responds later (its retry/fallback
+/// machinery is part of the recorded behavior). A nonzero `think` paces each
+/// client with a random 1..think inter-op delay, stretching the history so a
+/// nemesis plan's whole schedule lands while ops are still in flight.
+inline std::vector<lincheck::Operation> record_history(harness::Deployment& d,
+                                                       std::size_t ops_per_client,
+                                                       std::uint64_t seed,
+                                                       std::size_t num_vars,
+                                                       Duration think = 0) {
+  std::vector<lincheck::Operation> history;
+  std::vector<std::size_t> remaining(d.client_count(), ops_per_client);
+  Rng rng{seed};
+
+  std::function<void(std::size_t)> kick = [&](std::size_t ci) {
+    if (remaining[ci] == 0) return;
+    remaining[ci]--;
+
+    smr::Command cmd;
+    const auto pick = [&] { return VarId{rng.below(num_vars)}; };
+    switch (rng.below(4)) {
+      case 0:
+        cmd = kv_get(pick());
+        break;
+      case 1:
+        cmd = kv_add(pick(), static_cast<std::int64_t>(rng.below(10)));
+        break;
+      case 2: {
+        VarId a = pick(), b = pick();
+        cmd = kv_sum(a == b ? std::vector<VarId>{a} : std::vector<VarId>{a, b}, pick());
+        break;
+      }
+      default:
+        cmd = kv_set({pick()}, std::to_string(rng.below(100)));
+        break;
+    }
+
+    const std::size_t idx = history.size();
+    history.push_back({});
+    history[idx].client = ci;
+    history[idx].invoke = d.engine().now();
+    history[idx].cmd = cmd;
+    d.client(ci).issue(cmd, [&, idx, ci](smr::ReplyCode code, const net::MessagePtr& reply) {
+      history[idx].response = d.engine().now();
+      history[idx].code = code;
+      history[idx].reply = reply;
+      if (think > 0) {
+        const Duration pause =
+            1 + static_cast<Duration>(rng.below(static_cast<std::uint64_t>(think)));
+        d.engine().schedule(pause, [&kick, ci] { kick(ci); });
+      } else {
+        kick(ci);
+      }
+    });
+  };
+
+  for (std::size_t ci = 0; ci < d.client_count(); ++ci) {
+    d.engine().schedule(usec(static_cast<Duration>(rng.below(400))), [&kick, ci] { kick(ci); });
+  }
+  const Time deadline = d.engine().now() + sec(60);
+  while (d.engine().now() < deadline) {
+    d.engine().run_for(msec(20));
+    bool all_done = true;
+    for (std::size_t ci = 0; ci < d.client_count(); ++ci) {
+      all_done = all_done && remaining[ci] == 0 && !d.client(ci).busy();
+    }
+    if (all_done) break;
+  }
+  for (auto& o : history) {
+    DSSMR_ASSERT_MSG(o.response != 0, "operation still pending at history end");
+  }
+  return history;
+}
+
+}  // namespace dssmr::testing

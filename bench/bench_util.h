@@ -38,6 +38,12 @@ namespace dssmr::bench {
 ///                          plan name or fault-plan DSL (see
 ///                          fault/fault_plan.h); benches forward nemesis()
 ///                          into their run configs
+///   --telemetry            enable flight-recorder telemetry (gauge samples,
+///                          windowed partition heat, latency windows, fault
+///                          marks); lands in the --json run record's
+///                          `telemetry` section, so pair it with --json
+///   --telemetry-interval N sampling cadence / bucket width in microseconds
+///                          (default 100000 = 100ms); implies --telemetry
 class RunRecordSink {
  public:
   RunRecordSink(int argc, char** argv, std::string experiment)
@@ -60,6 +66,18 @@ class RunRecordSink {
         trace_path_ = next_or("TRACE_" + experiment_ + ".jsonl");
       } else if (std::strcmp(argv[i], "--trace-chrome") == 0) {
         chrome_path_ = next_or("CHROME_" + experiment_ + ".json");
+      } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+        telemetry_ = true;
+      } else if (std::strcmp(argv[i], "--telemetry-interval") == 0) {
+        const std::string v = next_or("");
+        const long long us = v.empty() ? 0 : std::atoll(v.c_str());
+        if (us <= 0) {
+          std::fprintf(stderr, "--telemetry-interval needs a positive microsecond count\n");
+          bad_args_ = true;
+        } else {
+          telemetry_ = true;
+          telemetry_interval_ = static_cast<Duration>(us);
+        }
       } else if (std::strcmp(argv[i], "--nemesis") == 0) {
         nemesis_ = next_or("");
         if (nemesis_.empty()) {
@@ -77,7 +95,8 @@ class RunRecordSink {
       } else {
         std::fprintf(stderr,
                      "unknown flag %s (supported: --json [path], --jobs N, "
-                     "--trace [path], --trace-chrome [path], --nemesis <plan>)\n",
+                     "--trace [path], --trace-chrome [path], --nemesis <plan>, "
+                     "--telemetry, --telemetry-interval <us>)\n",
                      argv[i]);
         bad_args_ = true;
       }
@@ -101,6 +120,10 @@ class RunRecordSink {
   std::size_t spans_capacity() const { return 1u << 16; }
   /// Benches set ChirperRunConfig::nemesis to this (empty = no faults).
   const std::string& nemesis() const { return nemesis_; }
+  /// Benches set ChirperRunConfig::telemetry (or DeploymentConfig::telemetry)
+  /// to this; the run record then carries a `telemetry` section.
+  bool telemetry_wanted() const { return telemetry_; }
+  Duration telemetry_interval() const { return telemetry_interval_; }
 
   void add(stats::RunRecord record) { records_.push_back(std::move(record)); }
 
@@ -155,6 +178,8 @@ class RunRecordSink {
   std::string trace_path_;
   std::string chrome_path_;
   std::string nemesis_;
+  bool telemetry_ = false;
+  Duration telemetry_interval_ = msec(100);
   std::size_t jobs_ = 1;
   bool bad_args_ = false;
   std::vector<stats::RunRecord> records_;

@@ -102,6 +102,8 @@ int main(int argc, char** argv) {
     dep.seed = 42;
     dep.trace = sink.trace_wanted();
     dep.spans = sink.spans_wanted();
+    dep.telemetry = sink.telemetry_wanted();
+    dep.telemetry_interval = sink.telemetry_interval();
     dep.spans_capacity = sink.spans_capacity();
 
     harness::PolicyFactory policy;

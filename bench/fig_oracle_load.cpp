@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.nemesis = sink.nemesis();
+    cfg.telemetry = sink.telemetry_wanted();
+    cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
     points.push_back({cfg, cache ? "cache-on" : "cache-off"});
   }
@@ -51,6 +53,8 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.nemesis = sink.nemesis();
+    cfg.telemetry = sink.telemetry_wanted();
+    cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
     points.push_back({cfg, "busy-over-time"});
   }
@@ -59,6 +63,8 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.nemesis = sink.nemesis();
+    cfg.telemetry = sink.telemetry_wanted();
+    cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
     points.push_back({cfg, "parts-" + std::to_string(parts)});
   }

@@ -313,6 +313,39 @@ BenchResult bench_chirper_small(bool smoke) {
   return b;
 }
 
+// Recorder-on/off pair on the same config and seed: the off run is the
+// denominator, so `overhead_pct` directly states the flight-recorder's
+// wall-clock cost (and `counters_identical` re-checks the behavior-neutral
+// promise under perf-suite load). tools/perf_compare.py warns when the
+// overhead drifts.
+BenchResult bench_chirper_telemetry(bool smoke) {
+  auto cfg = small_chirper(smoke, 42);
+
+  auto t0 = Clock::now();
+  const harness::RunResult off = harness::run_chirper(cfg);
+  const double off_wall = seconds_since(t0);
+
+  cfg.telemetry = true;
+  cfg.telemetry_interval = msec(100);
+  t0 = Clock::now();
+  const harness::RunResult on = harness::run_chirper(cfg);
+  const double on_wall = seconds_since(t0);
+
+  if (off.counters != on.counters || off.ok != on.ok || off.nok != on.nok) {
+    std::fprintf(stderr, "FATAL: telemetry changed simulation results\n");
+    std::exit(1);
+  }
+
+  const double commands = static_cast<double>(on.ok + on.nok);
+  BenchResult r{"chirper.telemetry", commands / on_wall, on_wall, {}};
+  r.extra.emplace_back("off_wall_s", off_wall);
+  r.extra.emplace_back("overhead_pct", (on_wall / off_wall - 1.0) * 100.0);
+  r.extra.emplace_back("gauge_samples",
+                       static_cast<double>(on.metrics.recorder().tick_times().size()));
+  r.extra.emplace_back("counters_identical", 1.0);
+  return r;
+}
+
 BenchResult bench_sweep_parallel(bool smoke, std::size_t jobs) {
   std::vector<harness::ChirperRunConfig> cfgs;
   for (std::uint64_t s = 0; s < 4; ++s) cfgs.push_back(small_chirper(smoke, 40 + s));
@@ -374,6 +407,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_mapping_locate(kIters));
   results.push_back(bench_zipf_sample(kIters));
   results.push_back(bench_chirper_small(smoke));
+  results.push_back(bench_chirper_telemetry(smoke));
   results.push_back(bench_sweep_parallel(smoke, jobs));
 
   const double total_wall = seconds_since(suite_t0);

@@ -57,6 +57,11 @@ void ClientProxy::init_client(net::Network& network, const multicast::Directory&
           handle("client.fallbacks"), handle("client.timeouts"),
           handle("client.hints"),     handle("client.ok"),
           handle("client.nok")};
+  if (metrics_ != nullptr) {
+    latency_hist_ = &metrics_->histogram("client.latency_us");
+    completions_series_ = &metrics_->series("client.completions");
+    moves_series_ = &metrics_->series("moves_ts");
+  }
   DSSMR_ASSERT(!cfg_.partitions.empty());
   if (cfg_.strategy == Strategy::kStaticSsmr) {
     DSSMR_ASSERT_MSG(cfg_.static_map != nullptr, "S-SMR clients need a static map");
@@ -254,7 +259,7 @@ void ClientProxy::on_prophecy(const ProphecyMsg& p) {
 
 void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sources) {
   ctr_.moves->inc();
-  if (metrics_ != nullptr) metrics_->series("moves_ts").add(network().engine().now());
+  if (moves_series_ != nullptr) moves_series_->add(network().engine().now());
 
   Command move;
   move.type = CommandType::kMove;
@@ -392,8 +397,11 @@ void ClientProxy::finish(ReplyCode code, const net::MessagePtr& app_reply) {
   const Time now = network().engine().now();
   (code == ReplyCode::kOk ? ctr_.ok : ctr_.nok)->inc();
   if (metrics_ != nullptr) {
-    metrics_->histogram("client.latency_us").record(now - issued_at_);
-    metrics_->series("client.completions").add(now);
+    latency_hist_->record(now - issued_at_);
+    completions_series_->add(now);
+    // Windowed latency shares this exact site, so the recorder's merged
+    // windows reproduce client.latency_us (one-branch no-op when disabled).
+    metrics_->recorder().record_latency(now, now - issued_at_);
   }
 
   stats::SpanStore* sp = spans();

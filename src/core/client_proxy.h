@@ -75,6 +75,8 @@ class ClientProxy : public multicast::ClientNode {
 
   /// Location-cache introspection (tests).
   std::optional<GroupId> cached_location(VarId v) const;
+  /// Cached-entry count (telemetry gauge).
+  std::size_t cache_size() const { return cache_.size(); }
   const ClientConfig& config() const { return cfg_; }
 
  protected:
@@ -126,6 +128,13 @@ class ClientProxy : public multicast::ClientNode {
     stats::Counter* ok;
     stats::Counter* nok;
   } ctr_{};
+
+  /// Interned histogram/series handles, same rationale as ctr_: finish() and
+  /// send_dssmr_move run per command, so the by-name map lookups add up.
+  /// nullptr when no metrics sink is wired.
+  stats::Histogram* latency_hist_ = nullptr;
+  stats::TimeSeries* completions_series_ = nullptr;
+  stats::TimeSeries* moves_series_ = nullptr;
 
   Phase phase_ = Phase::kIdle;
   smr::Command cmd_;

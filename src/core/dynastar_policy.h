@@ -46,6 +46,8 @@ class DynaStarPolicy : public OraclePolicy {
 
   std::size_t graph_vertex_count() const { return node_to_var_.size(); }
   std::size_t graph_edge_count() const { return graph_.edge_count(); }
+  std::size_t workload_graph_vertices() const override { return graph_vertex_count(); }
+  std::size_t workload_graph_edges() const override { return graph_edge_count(); }
 
  private:
   partition::NodeId node_of(VarId v);

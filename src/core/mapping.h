@@ -109,6 +109,11 @@ class OraclePolicy {
 
   /// Number of repartitionings computed so far (DynaStar-style policies).
   virtual std::uint64_t repartition_count() const { return 0; }
+
+  /// Workload-graph size (DynaStar-style policies keep a hint graph; 0 for
+  /// stateless policies). Sampled as telemetry gauges.
+  virtual std::size_t workload_graph_vertices() const { return 0; }
+  virtual std::size_t workload_graph_edges() const { return 0; }
 };
 
 /// The DS-SMR (DSN 2016) policy: no global workload knowledge. New variables

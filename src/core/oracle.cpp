@@ -18,6 +18,17 @@ using smr::ReplyMsg;
 using smr::ReplyTiming;
 using smr::SignalMsg;
 
+namespace {
+
+/// Sink for counter handles when no metrics object is wired (tests).
+/// thread_local: simulations on different sweep threads may share it.
+stats::Counter& dummy_counter() {
+  thread_local stats::Counter c;
+  return c;
+}
+
+}  // namespace
+
 MsgId derive_move_id(MsgId consult_id) {
   std::uint64_t x = consult_id.value ^ 0x6d6f76652d69645fULL;  // "move-id_"
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -37,6 +48,16 @@ void OracleNode::init_oracle(net::Network& network, const multicast::Directory& 
   partitions_ = std::move(partitions);
   config_ = config;
   metrics_ = metrics;
+  auto handle = [this](const char* name) {
+    return metrics_ != nullptr ? &metrics_->counter_handle(name) : &dummy_counter();
+  };
+  ctr_ = {handle("oracle.consults"),     handle("oracle.creates"),
+          handle("oracle.deletes"),      handle("oracle.moves_issued"),
+          handle("oracle.moves_applied"), handle("oracle.hints")};
+  if (metrics_ != nullptr) {
+    busy_series_ = &metrics_->series("oracle.busy_us");
+    moves_series_ = &metrics_->series("moves_ts");
+  }
 }
 
 void OracleNode::preload(VarId v, GroupId p) {
@@ -44,9 +65,9 @@ void OracleNode::preload(VarId v, GroupId p) {
   policy_->on_create(v);
 }
 
-void OracleNode::bump(const std::string& name) {
+void OracleNode::bump(stats::Counter* c) {
   // Leader-gated so deployment-wide counters are per-event, not per-replica.
-  if (metrics_ != nullptr && is_leader()) metrics_->inc(name);
+  if (is_leader()) c->inc();
 }
 
 void OracleNode::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) {
@@ -59,8 +80,8 @@ void OracleNode::trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg) 
 void OracleNode::account(Duration service) {
   // One series per deployment: only the leader accounts, so the series
   // reflects one oracle replica's CPU, matching the paper's measurement.
-  if (metrics_ != nullptr && is_leader()) {
-    metrics_->series("oracle.busy_us").add(engine().now(), static_cast<double>(service));
+  if (busy_series_ != nullptr && is_leader()) {
+    busy_series_->add(engine().now(), static_cast<double>(service));
   }
 }
 
@@ -104,7 +125,7 @@ void OracleNode::on_amdeliver(const multicast::AmcastMessage& m) {
 }
 
 void OracleNode::handle_consult(const multicast::AmcastMessage& m, const ConsultMsg& consult) {
-  bump("oracle.consults");
+  bump(ctr_.consults);
   const Command& cmd = consult.cmd;
   const ProcessId client = m.sender;
   auto prophecy = std::make_shared<ProphecyMsg>(consult.consult_id, ReplyCode::kOk);
@@ -152,10 +173,10 @@ void OracleNode::handle_consult(const multicast::AmcastMessage& m, const Consult
         move_dests.push_back(group());
         const MsgId move_id = move.id;
         amcast(std::move(move_dests), net::make_msg<CommandMsg>(std::move(move)));
-        bump("oracle.moves_issued");
+        bump(ctr_.moves_issued);
         trace(stats::TraceEvent::kMoveIssued, move_id.value,
               static_cast<std::int64_t>(prophecy->dest.value));
-        if (metrics_ != nullptr) metrics_->series("moves_ts").add(engine().now());
+        if (moves_series_ != nullptr) moves_series_->add(engine().now());
       }
       prophecy->oracle_moved = config_.oracle_issues_moves;
     } else if (cmd.type == CommandType::kAccess && dests.size() == 1) {
@@ -206,7 +227,7 @@ void OracleNode::handle_create(const multicast::AmcastMessage& m, const Command&
   } else {
     mapping_->place(v, target);
     policy_->on_create(v);
-    bump("oracle.creates");
+    bump(ctr_.creates);
   }
 
   account(config_.command_service);
@@ -253,7 +274,7 @@ void OracleNode::handle_delete(const multicast::AmcastMessage& m, const Command&
   }
   mapping_->erase(v);
   policy_->on_delete(v);
-  bump("oracle.deletes");
+  bump(ctr_.deletes);
 
   account(config_.command_service);
   exec_->enqueue(smr::ExecutionEngine::Task{
@@ -289,13 +310,22 @@ void OracleNode::handle_move(const Command& cmd) {
       mapping_->place(v, cmd.move_dest);
     }
   }
-  bump("oracle.moves_applied");
+  bump(ctr_.moves_applied);
   queue_reply_task(config_.command_service, [] {});
 }
 
 void OracleNode::handle_hint(const HintMsg& hint) {
+  const std::uint64_t repartitions_before = policy_->repartition_count();
   policy_->on_hint(hint.edges);
-  bump("oracle.hints");
+  bump(ctr_.hints);
+  // A hint batch that crossed the policy's threshold recomputed the ideal
+  // partitioning — annotate the telemetry timeline (leader-gated, like all
+  // deployment-wide recording).
+  if (metrics_ != nullptr && is_leader() && metrics_->recorder().enabled() &&
+      policy_->repartition_count() != repartitions_before) {
+    metrics_->recorder().mark(engine().now(), stats::Recorder::MarkKind::kEvent,
+                              "repartition #" + std::to_string(policy_->repartition_count()));
+  }
   queue_reply_task(config_.command_service, [] {});
 }
 

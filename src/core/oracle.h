@@ -57,7 +57,11 @@ class OracleNode : public multicast::GroupNode {
 
   const Mapping& mapping() const { return *mapping_; }
   OraclePolicy& policy() { return *policy_; }
+  const OraclePolicy& policy() const { return *policy_; }
   Duration busy_time() const { return exec_->busy_time(); }
+
+  /// Telemetry gauge (see harness/deployment.cpp).
+  std::size_t queue_depth() const { return exec_->queue_depth(); }
 
  protected:
   void on_amdeliver(const multicast::AmcastMessage& m) override;
@@ -76,7 +80,7 @@ class OracleNode : public multicast::GroupNode {
   void handle_hint(const smr::HintMsg& hint);
 
   void queue_reply_task(Duration service, std::function<void()> run);
-  void bump(const std::string& name);
+  void bump(stats::Counter* c);
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
   void account(Duration service);
 
@@ -89,6 +93,20 @@ class OracleNode : public multicast::GroupNode {
   /// Signals received from partitions, per command.
   std::unordered_map<MsgId, std::set<GroupId>> signals_;
   BoundedMap<MsgId, CachedReply> completed_{1 << 15};
+
+  /// Interned counter handles (see ClientProxy::Counters): consults and hints
+  /// arrive per command, so the by-name map lookup is a hot-path cost.
+  struct Counters {
+    stats::Counter* consults;
+    stats::Counter* creates;
+    stats::Counter* deletes;
+    stats::Counter* moves_issued;
+    stats::Counter* moves_applied;
+    stats::Counter* hints;
+  } ctr_{};
+  /// Interned series handles; nullptr when no metrics sink is wired.
+  stats::TimeSeries* busy_series_ = nullptr;
+  stats::TimeSeries* moves_series_ = nullptr;
 };
 
 }  // namespace dssmr::core

@@ -63,6 +63,16 @@ void PartitionServer::bump(stats::Counter* c) {
   if (is_leader()) c->inc();
 }
 
+void PartitionServer::heat_command(bool multi) {
+  if (metrics_ == nullptr || !is_leader()) return;
+  metrics_->recorder().record_command(engine().now(), group().value, multi);
+}
+
+void PartitionServer::heat_move() {
+  if (metrics_ == nullptr || !is_leader()) return;
+  metrics_->recorder().record_move(engine().now(), group().value);
+}
+
 void PartitionServer::span(SpanPhase p, std::uint64_t trace_id, Time start, Time end,
                            std::int64_t arg) {
   if (metrics_ == nullptr || trace_id == 0 || !is_leader()) return;
@@ -186,6 +196,7 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
   }
 
   bump(ctr_.single_partition);
+  heat_command(/*multi=*/false);
   inflight_.insert(cmd.id);
   const Duration service = app_->service_time(cmd);
   exec_->enqueue(smr::ExecutionEngine::Task{
@@ -228,6 +239,7 @@ void PartitionServer::deliver_access_multi(const multicast::AmcastMessage& m,
   const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
   const Time delivered = engine().now();
   bump(ctr_.multi_partition);
+  heat_command(/*multi=*/true);
   inflight_.insert(cmd.id);
 
   std::vector<GroupId> others;
@@ -302,6 +314,7 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
       if (owned_.erase(v) > 0) mine.push_back(v);
     }
     bump(ctr_.moves_source);
+    heat_move();
     inflight_.insert(cmd.id);
     const Duration service =
         config_.move_service_per_var * static_cast<Duration>(mine.size() + 1);
@@ -340,6 +353,7 @@ void PartitionServer::deliver_move(const multicast::AmcastMessage& m, const Comm
     if (g != group()) sources.push_back(g);
   }
   bump(ctr_.moves_dest);
+  heat_move();
   inflight_.insert(cmd.id);
 
   const Duration service =

@@ -72,6 +72,10 @@ class PartitionServer : public multicast::GroupNode {
   std::uint64_t executed_count() const { return exec_->executed_count(); }
   Duration busy_time() const { return exec_->busy_time(); }
 
+  /// Telemetry gauges (see harness/deployment.cpp).
+  std::size_t queue_depth() const { return exec_->queue_depth(); }
+  std::size_t reply_cache_size() const { return completed_.size(); }
+
  protected:
   void on_amdeliver(const multicast::AmcastMessage& m) override;
   void on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) override;
@@ -105,6 +109,10 @@ class PartitionServer : public multicast::GroupNode {
                 bool access_final = false);
   Coord& coord(MsgId cmd_id);
   void bump(stats::Counter* c);
+  /// Leader-gated windowed heat (stats::Recorder); recorded at the exact
+  /// same sites as the single/multi counters so per-bucket sums tile them.
+  void heat_command(bool multi);
+  void heat_move();
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
   /// Leader-gated server-view span (fold=false: the client attributes this
   /// time itself from the reply's timestamps).

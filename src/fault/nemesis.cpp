@@ -141,6 +141,7 @@ void Nemesis::do_crash(Node& n) {
   last_victim_ = &n;
   d_.metrics().inc("faults.crashes");
   trace(stats::TraceEvent::kFaultInject, n.pid().value);
+  mark(stats::Recorder::MarkKind::kFaultBegin, "crash pid=" + std::to_string(n.pid().value));
   window_open();
 }
 
@@ -150,6 +151,7 @@ void Nemesis::do_recover(Node& n) {
   n.restart_node();
   d_.metrics().inc("faults.recoveries");
   trace(stats::TraceEvent::kFaultRecover, n.pid().value);
+  mark(stats::Recorder::MarkKind::kFaultEnd, "recover pid=" + std::to_string(n.pid().value));
   window_close();
 }
 
@@ -205,6 +207,8 @@ void Nemesis::do_cut(const FaultEvent& e) {
   }
   trace(stats::TraceEvent::kFaultInject, 0,
         static_cast<std::int64_t>(cut_links_.size() - before));
+  mark(stats::Recorder::MarkKind::kFaultBegin,
+       "cut " + std::to_string(cut_links_.size() - before) + " links");
   ++open_cut_events_;
   window_open();
 }
@@ -215,6 +219,8 @@ void Nemesis::do_heal() {
   }
   trace(stats::TraceEvent::kFaultRecover, 0,
         static_cast<std::int64_t>(cut_links_.size()));
+  mark(stats::Recorder::MarkKind::kFaultEnd,
+       "heal " + std::to_string(cut_links_.size()) + " links");
   cut_links_.clear();
   d_.metrics().inc("faults.heals");
   while (open_cut_events_ > 0) {
@@ -231,10 +237,13 @@ void Nemesis::do_drop_burst(const FaultEvent& e) {
   d_.metrics().inc("faults.drop_bursts");
   trace(stats::TraceEvent::kFaultInject, 0,
         static_cast<std::int64_t>(e.drop_probability * 1e6));
+  mark(stats::Recorder::MarkKind::kFaultBegin,
+       "drop burst p=" + std::to_string(e.drop_probability));
   window_open();
   d_.engine().schedule(e.duration, [this, prev] {
     d_.network().set_drop_probability(prev);
     trace(stats::TraceEvent::kFaultRecover, 0);
+    mark(stats::Recorder::MarkKind::kFaultEnd, "drop burst over");
     window_close();
   });
 }
@@ -258,6 +267,10 @@ void Nemesis::window_close() {
 
 void Nemesis::trace(stats::TraceEvent e, std::uint32_t node, std::int64_t arg) {
   d_.metrics().trace().record(e, d_.engine().now(), node, 0, arg);
+}
+
+void Nemesis::mark(stats::Recorder::MarkKind kind, std::string label) {
+  d_.metrics().recorder().mark(d_.engine().now(), kind, std::move(label));
 }
 
 }  // namespace dssmr::fault

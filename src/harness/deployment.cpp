@@ -1,5 +1,6 @@
 #include "harness/deployment.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -61,6 +62,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
                                   config_.seed * 7919 + p * 131 + r);
       server(p, r).set_trace(&metrics_.trace());
       server(p, r).set_spans(&metrics_.spans());
+      server(p, r).set_metrics(&metrics_);
     }
   }
   for (std::size_t r = 0; r < config_.oracle_replicas; ++r) {
@@ -70,6 +72,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
                              config_.seed * 104729 + r);
     oracles_[r]->set_trace(&metrics_.trace());
     oracles_[r]->set_spans(&metrics_.spans());
+    oracles_[r]->set_metrics(&metrics_);
   }
 
   // Clients, alternating racks.
@@ -88,6 +91,84 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
     client->init_client(network_, directory_, ccfg, &metrics_);
     clients_.push_back(std::move(client));
   }
+
+  if (config_.telemetry) {
+    metrics_.recorder().enable(config_.telemetry_interval, config_.partitions);
+    register_telemetry_gauges();
+  }
+}
+
+void Deployment::register_telemetry_gauges() {
+  stats::Recorder& rec = metrics_.recorder();
+
+  // Per-partition execution-queue depth: the max over live replicas (a
+  // crashed replica's frozen queue would otherwise mask the live ones).
+  for (std::size_t p = 0; p < config_.partitions; ++p) {
+    rec.register_gauge("queue_depth.p" + std::to_string(p), [this, p] {
+      std::size_t depth = 0;
+      for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+        core::PartitionServer& s = server(p, r);
+        if (!s.halted()) depth = std::max(depth, s.queue_depth());
+      }
+      return static_cast<double>(depth);
+    });
+  }
+  rec.register_gauge("oracle.queue_depth", [this] {
+    std::size_t depth = 0;
+    for (auto& o : oracles_) {
+      if (!o->halted()) depth = std::max(depth, o->queue_depth());
+    }
+    return static_cast<double>(depth);
+  });
+
+  // Messages currently in flight on the simulated network.
+  rec.register_gauge("net.in_flight", [this] {
+    const net::NetworkStats& s = network_.stats();
+    return static_cast<double>(s.messages_sent - s.messages_delivered - s.messages_dropped);
+  });
+
+  // Stamped-but-undelivered atomic multicasts, summed over every group node.
+  rec.register_gauge("amcast.pending", [this] {
+    std::size_t pending = 0;
+    for (auto& s : servers_) pending += s->amcast_pending();
+    for (auto& o : oracles_) pending += o->amcast_pending();
+    return static_cast<double>(pending);
+  });
+
+  // Reply-cache occupancy, summed over partition replicas.
+  rec.register_gauge("reply_cache.entries", [this] {
+    std::size_t entries = 0;
+    for (auto& s : servers_) entries += s->reply_cache_size();
+    return static_cast<double>(entries);
+  });
+
+  // Client location caches: total cached entries and the cumulative hit rate
+  // (hits / consult-or-hit decisions so far).
+  rec.register_gauge("client_cache.entries", [this] {
+    std::size_t entries = 0;
+    for (auto& c : clients_) entries += c->cache_size();
+    return static_cast<double>(entries);
+  });
+  rec.register_gauge("client_cache.hit_rate", [this] {
+    const std::uint64_t hits = metrics_.counter("client.cache_hits");
+    const std::uint64_t consults = metrics_.counter("client.consults");
+    const std::uint64_t decisions = hits + consults;
+    return decisions == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(decisions);
+  });
+
+  // Oracle state: mapped variables and (for DynaStar-style policies) the
+  // workload-graph size. Replica 0's view — replicas hold identical state.
+  rec.register_gauge("oracle.mapped_vars", [this] {
+    return static_cast<double>(oracles_[0]->mapping().var_count());
+  });
+  rec.register_gauge("oracle.graph_edges", [this] {
+    return static_cast<double>(oracles_[0]->policy().workload_graph_edges());
+  });
+}
+
+void Deployment::telemetry_tick() {
+  metrics_.recorder().tick(engine_.now());
+  engine_.schedule(config_.telemetry_interval, [this] { telemetry_tick(); });
 }
 
 std::vector<GroupId> Deployment::partition_gids() const {
@@ -117,6 +198,11 @@ void Deployment::preload_var(VarId v, GroupId p, const smr::VarValue& value) {
 void Deployment::start() {
   for (auto& s : servers_) s->start();
   for (auto& o : oracles_) o->start();
+  // First telemetry sample lands one interval in; the chain then keeps one
+  // event pending forever (drive the engine with run_until, not run-to-empty).
+  if (config_.telemetry) {
+    engine_.schedule(config_.telemetry_interval, [this] { telemetry_tick(); });
+  }
 }
 
 void Deployment::settle(Duration max_wait) {

@@ -57,6 +57,15 @@ struct DeploymentConfig {
   /// record's `phases` section stays complete; only the exported span list
   /// is truncated (benches cap it to keep Chrome traces loadable).
   std::size_t spans_capacity = 0;
+
+  /// Enables flight-recorder telemetry (stats::Recorder): gauge sampling on
+  /// a virtual-time cadence, windowed per-partition heat, windowed latency
+  /// percentiles and timeline marks. Off by default; when off, no tick chain
+  /// is scheduled and every record_* call is a one-branch no-op, so the
+  /// virtual-time schedule is identical to a build without telemetry.
+  bool telemetry = false;
+  /// Gauge-sampling cadence and heat/latency bucket width.
+  Duration telemetry_interval = msec(100);
 };
 
 class Deployment {
@@ -111,6 +120,14 @@ class Deployment {
   std::vector<std::string> audit_consistency();
 
  private:
+  /// Registers the standard gauge set with the recorder (queue depths,
+  /// in-flight messages, cache occupancy, pending amcast, oracle state).
+  void register_telemetry_gauges();
+  /// One telemetry tick: sample gauges, then reschedule. The chain keeps one
+  /// event pending forever, so telemetry runs must drive the engine with
+  /// run_until (run-to-empty would never drain).
+  void telemetry_tick();
+
   DeploymentConfig config_;
   sim::Engine engine_;
   net::Network network_;

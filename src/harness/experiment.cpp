@@ -117,6 +117,8 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   dep.trace = cfg.trace;
   dep.spans = cfg.spans;
   dep.spans_capacity = cfg.spans_capacity;
+  dep.telemetry = cfg.telemetry;
+  dep.telemetry_interval = cfg.telemetry_interval;
   dep.client_hints = cfg.strategy == core::Strategy::kDynaStar;
   dep.oracle.oracle_issues_moves = cfg.strategy == core::Strategy::kDynaStar;
 
@@ -225,6 +227,10 @@ stats::RunRecord make_run_record(const ChirperRunConfig& cfg, const RunResult& r
   rec.add_meta("measure_us", std::to_string(cfg.measure));
   rec.add_meta("client_cache", cfg.client_cache ? "true" : "false");
   rec.add_meta("nemesis", cfg.nemesis.empty() ? "none" : cfg.nemesis);
+  rec.add_meta("telemetry", cfg.telemetry ? "on" : "off");
+  if (cfg.telemetry) {
+    rec.add_meta("telemetry_interval_us", std::to_string(cfg.telemetry_interval));
+  }
   rec.add_meta("placement_edge_cut", std::to_string(r.placement_edge_cut));
   rec.add_meta("throughput_cps", std::to_string(r.throughput_cps));
   rec.add_meta("latency_p50_us", std::to_string(r.latency_p50_us));

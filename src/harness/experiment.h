@@ -115,6 +115,12 @@ struct ChirperRunConfig {
   /// Fault plan for the run: a shipped plan name or fault-plan DSL (see
   /// fault/fault_plan.h), armed right after settle(). Empty = no faults.
   std::string nemesis;
+
+  /// Flight-recorder telemetry (stats::Recorder): gauge sampling, windowed
+  /// partition heat, windowed latency percentiles, timeline marks. Lands in
+  /// the run record's `telemetry` section; off = zero cost and absent key.
+  bool telemetry = false;
+  Duration telemetry_interval = msec(100);
 };
 
 struct RunResult {

@@ -200,6 +200,7 @@ void GroupNode::init_group_node(net::Network& network, const Directory& director
     // Leader-gated so one trace record is emitted per group delivery, not one
     // per replica (matching the leader-gated metrics counters).
     const bool leading = paxos_->is_leader();
+    if (delivered_ctr_ != nullptr && leading) delivered_ctr_->inc();
     if (trace_ != nullptr && leading) {
       trace_->record(stats::TraceEvent::kAmcastDeliver, network_->engine().now(), pid().value,
                      m.id.value, static_cast<std::int64_t>(m.dests.size()));
@@ -248,6 +249,11 @@ void GroupNode::set_trace(stats::Trace* trace) {
   DSSMR_ASSERT_MSG(paxos_ != nullptr, "init_group_node() not called");
   trace_ = trace;
   paxos_->set_trace(trace);
+}
+
+void GroupNode::set_metrics(stats::Metrics* metrics) {
+  DSSMR_ASSERT_MSG(paxos_ != nullptr, "init_group_node() not called");
+  delivered_ctr_ = metrics != nullptr ? &metrics->counter_handle("amcast.delivered") : nullptr;
 }
 
 void GroupNode::halt_node() {

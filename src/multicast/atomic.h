@@ -42,6 +42,7 @@
 #include "multicast/reliable.h"
 #include "net/network.h"
 #include "sim/engine.h"
+#include "stats/metrics.h"
 #include "stats/span.h"
 #include "stats/trace.h"
 
@@ -182,6 +183,8 @@ class GroupNode : public net::Actor {
   void send_direct(ProcessId to, net::MessagePtr payload);
 
   std::uint64_t amcast_delivered() const { return amcast_->delivered_count(); }
+  /// Stamped-but-undelivered multicasts at this replica (telemetry gauge).
+  std::size_t amcast_pending() const { return amcast_->pending_count(); }
 
   /// Wires the deployment-wide event trace (leader-gated kAmcastDeliver here,
   /// kLeaderChange in the Paxos core). Call after init_group_node().
@@ -191,6 +194,12 @@ class GroupNode : public net::Actor {
   /// gets a leader-gated kAmcast span covering stamp -> delivery. Call after
   /// init_group_node().
   void set_spans(stats::SpanStore* spans) { spans_ = spans; }
+
+  /// Wires the deployment-wide metrics registry: interns a leader-gated
+  /// `amcast.delivered` counter bumped once per group delivery (the interned
+  /// handle keeps the per-delivery hot path free of by-name map lookups).
+  /// Call after init_group_node().
+  void set_metrics(stats::Metrics* metrics);
 
  protected:
   /// Atomic delivery hook — same sequence on every group member.
@@ -218,6 +227,8 @@ class GroupNode : public net::Actor {
   std::unique_ptr<RmcastEngine> rmcast_;
   stats::Trace* trace_ = nullptr;
   stats::SpanStore* spans_ = nullptr;
+  /// Interned by set_metrics(); nullptr when no metrics sink is wired.
+  stats::Counter* delivered_ctr_ = nullptr;
   std::uint64_t next_msg_seq_ = 0;
 };
 

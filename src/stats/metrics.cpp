@@ -31,6 +31,7 @@ void Metrics::reset() {
   series_.clear();
   trace_.clear();
   spans_.clear();
+  recorder_.reset();
 }
 
 }  // namespace dssmr::stats

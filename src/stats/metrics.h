@@ -14,6 +14,7 @@
 #include <string>
 
 #include "stats/histogram.h"
+#include "stats/recorder.h"
 #include "stats/span.h"
 #include "stats/timeseries.h"
 #include "stats/trace.h"
@@ -62,6 +63,11 @@ class Metrics {
   SpanStore& spans() { return spans_; }
   const SpanStore& spans() const { return spans_; }
 
+  /// Flight-recorder telemetry (windowed heat, gauges, latency windows);
+  /// disabled unless Recorder::enable() is called.
+  Recorder& recorder() { return recorder_; }
+  const Recorder& recorder() const { return recorder_; }
+
   void reset();
 
  private:
@@ -71,6 +77,7 @@ class Metrics {
   std::map<std::string, TimeSeries> series_;
   Trace trace_;
   SpanStore spans_;
+  Recorder recorder_;
 };
 
 }  // namespace dssmr::stats

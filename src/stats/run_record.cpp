@@ -1,5 +1,6 @@
 #include "stats/run_record.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "stats/json_writer.h"
@@ -36,6 +37,94 @@ void write_series(JsonWriter& w, const TimeSeries& s) {
   w.key("values");
   w.begin_array();
   for (std::size_t i = 0; i < s.bucket_count(); ++i) w.value(s.bucket(i));
+  w.end_array();
+  w.end_object();
+}
+
+// v4: flight-recorder telemetry. Gauge samples are arrays aligned with
+// `ticks`; heat buckets and latency windows are `interval_us` wide (bucket i
+// covers [i*interval, (i+1)*interval)); trailing zero buckets are implicit.
+// Per-partition `commands`/`multi` sum exactly to the end-of-run
+// `server.single_partition_commands` + `server.multi_partition_commands`
+// counters because both record at the same leader-gated sites.
+void write_telemetry(JsonWriter& w, const Recorder& r) {
+  w.begin_object();
+  w.field("interval_us", static_cast<std::int64_t>(r.interval()));
+  w.key("ticks");
+  w.begin_array();
+  for (Time t : r.tick_times()) w.value(static_cast<std::int64_t>(t));
+  w.end_array();
+  w.key("gauges");
+  w.begin_object();
+  for (const Recorder::Gauge& g : r.gauges()) {
+    w.key(g.name);
+    w.begin_array();
+    for (double v : g.values) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+  w.key("partitions");
+  w.begin_array();
+  for (const Recorder::PartitionHeat& h : r.heat()) {
+    w.begin_object();
+    w.field("total_commands", h.total_commands);
+    w.field("total_multi", h.total_multi);
+    w.field("total_moves", h.total_moves);
+    const auto write_buckets = [&w](const char* name,
+                                    const std::vector<std::uint64_t>& buckets) {
+      w.key(name);
+      w.begin_array();
+      for (std::uint64_t v : buckets) w.value(v);
+      w.end_array();
+    };
+    write_buckets("commands", h.commands);
+    write_buckets("multi", h.multi);
+    write_buckets("moves", h.moves);
+    w.end_object();
+  }
+  w.end_array();
+  // Deployment-wide locality per bucket: single-partition fraction of all
+  // commands (1.0 = perfectly local; null when the bucket saw no commands).
+  std::size_t heat_buckets = 0;
+  for (const Recorder::PartitionHeat& h : r.heat()) {
+    heat_buckets = std::max(heat_buckets, h.commands.size());
+  }
+  w.key("locality");
+  w.begin_array();
+  for (std::size_t i = 0; i < heat_buckets; ++i) {
+    std::uint64_t commands = 0;
+    std::uint64_t multi = 0;
+    for (const Recorder::PartitionHeat& h : r.heat()) {
+      commands += i < h.commands.size() ? h.commands[i] : 0;
+      multi += i < h.multi.size() ? h.multi[i] : 0;
+    }
+    if (commands == 0) {
+      w.null();
+    } else {
+      w.value(1.0 - static_cast<double>(multi) / static_cast<double>(commands));
+    }
+  }
+  w.end_array();
+  w.key("latency_windows");
+  w.begin_array();
+  for (const Histogram& h : r.latency_windows()) {
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("mean", h.mean());
+    w.field("p50", h.percentile(0.50));
+    w.field("p99", h.percentile(0.99));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("marks");
+  w.begin_array();
+  for (const Recorder::Mark& m : r.marks()) {
+    w.begin_object();
+    w.field("t_us", static_cast<std::int64_t>(m.at));
+    w.field("kind", to_string(m.kind));
+    w.field("label", m.label);
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
 }
@@ -136,6 +225,13 @@ void write_run_records(std::ostream& os, std::string_view experiment,
         write_histogram(w, *h);
       }
       w.end_object();
+    }
+    // v4: flight-recorder telemetry, present only when the run enabled the
+    // Recorder (--telemetry in the benches). Absent otherwise, keeping
+    // telemetry-off records identical to pre-telemetry output.
+    if (run.metrics.recorder().enabled()) {
+      w.key("telemetry");
+      write_telemetry(w, run.metrics.recorder());
     }
     w.key("spans");
     write_spans_summary(w, spans);

@@ -1,4 +1,4 @@
-// Machine-readable per-run records (schema "dssmr.run_record.v3").
+// Machine-readable per-run records (schema "dssmr.run_record.v4").
 //
 // Every bench binary can serialize its runs to JSON so the repo's perf
 // trajectory is diffable: counters, histogram summaries (count/min/max/mean/
@@ -6,10 +6,13 @@
 // span-phase latency histograms (the `phases` section, present when span
 // tracing ran — v2's addition, see stats/span.h), a `faults` section
 // summarizing nemesis fault injection (present when a run carried `faults.*`
-// metrics — v3's addition, see fault/nemesis.h), and free-form run metadata
-// (strategy, partitions, seed, ...). The format is documented in
-// EXPERIMENTS.md; CI asserts one of these files parses and carries a nonzero
-// client.ops.
+// metrics — v3's addition, see fault/nemesis.h), a `telemetry` section with
+// windowed flight-recorder data — gauge samples, per-partition heat,
+// windowed latency percentiles and timeline marks (present when the run's
+// Recorder was enabled — v4's addition, see stats/recorder.h) — and
+// free-form run metadata (strategy, partitions, seed, ...). The format is
+// documented in EXPERIMENTS.md; CI asserts one of these files parses and
+// carries a nonzero client.ops.
 #pragma once
 
 #include <iosfwd>
@@ -22,7 +25,7 @@
 
 namespace dssmr::stats {
 
-inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v3";
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v4";
 
 struct RunRecord {
   std::string label;

@@ -11,6 +11,9 @@ TimeSeries::TimeSeries(Duration bucket_width) : bucket_width_(bucket_width) {
 void TimeSeries::add(Time t, double amount) {
   DSSMR_ASSERT(t >= 0);
   const auto idx = static_cast<std::size_t>(t / bucket_width_);
+  DSSMR_ASSERT_MSG(idx < kMaxBuckets,
+                   "TimeSeries::add: t is implausibly far in the future (bucket index "
+                   "exceeds kMaxBuckets); check the caller's clock arithmetic");
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
   buckets_[idx] += amount;
   total_ += amount;

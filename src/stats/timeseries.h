@@ -14,9 +14,16 @@ namespace dssmr::stats {
 
 class TimeSeries {
  public:
+  /// Hard cap on bucket growth: one bucket per second for ~12 days of
+  /// virtual time at the default width. A far-future `t` (clock arithmetic
+  /// bug, uninitialized Time) would otherwise resize the vector to petabytes;
+  /// add() fails loudly instead of letting the allocator kill the process.
+  static constexpr std::size_t kMaxBuckets = 1u << 20;
+
   explicit TimeSeries(Duration bucket_width = sec(1));
 
-  /// Adds `amount` to the bucket containing time `t`.
+  /// Adds `amount` to the bucket containing time `t`. Aborts (via
+  /// DSSMR_ASSERT) if `t` lands past kMaxBuckets buckets.
   void add(Time t, double amount = 1.0);
 
   Duration bucket_width() const { return bucket_width_; }

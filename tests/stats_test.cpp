@@ -185,6 +185,14 @@ TEST(TimeSeries, BucketStart) {
   EXPECT_EQ(ts.bucket_start(3), sec(6));
 }
 
+TEST(TimeSeriesDeathTest, FarFutureTimeFailsLoudly) {
+  // A corrupted clock (e.g. an unsigned underflow producing ~2^63 us) must
+  // abort with a diagnostic, not resize the bucket vector to oblivion.
+  TimeSeries ts{usec(1)};
+  const Time absurd = static_cast<Time>(TimeSeries::kMaxBuckets) + sec(1);
+  EXPECT_DEATH(ts.add(absurd, 1), "implausibly far");
+}
+
 TEST(Metrics, CountersDefaultZero) {
   Metrics m;
   EXPECT_EQ(m.counter("nope"), 0u);
@@ -475,7 +483,7 @@ TEST(RunRecord, SerializesSyntheticMetrics) {
   std::ostringstream os;
   write_run_records(os, "unit", {rec});
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v4\""), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"case-a\""), std::string::npos);
   EXPECT_NE(json.find("\"partitions\": \"2\""), std::string::npos);

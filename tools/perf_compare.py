@@ -70,6 +70,8 @@ def main():
             rows.append((name, b_rate, c_rate, ratio, flag))
         if b.get("results_identical") == 1 and c.get("results_identical") != 1:
             regressions.append(f"{name}: parallel sweep results no longer identical")
+        if b.get("counters_identical") == 1 and c.get("counters_identical") != 1:
+            regressions.append(f"{name}: telemetry run diverged from telemetry-off run")
 
     for name in sorted(set(cur) - set(base)):
         rows.append((name, 0.0, cur[name].get("items_per_sec", 0.0), 0.0, "new"))
@@ -77,6 +79,21 @@ def main():
     print(f"{'bench':<24} {'baseline/s':>14} {'current/s':>14} {'ratio':>7}")
     for name, b_rate, c_rate, ratio, flag in rows:
         print(f"{name:<24} {b_rate:>14.0f} {c_rate:>14.0f} {ratio:>7.2f} {flag}")
+
+    # Telemetry overhead is a measurement we track, not a pass/fail rate: the
+    # recorder's promise is "cheap when on, free when off", so surface the
+    # on-vs-off wall-clock diff and warn when it drifts noticeably.
+    tel_base = base.get("chirper.telemetry", {}).get("overhead_pct")
+    tel_cur = cur.get("chirper.telemetry", {}).get("overhead_pct")
+    if tel_cur is not None:
+        line = f"telemetry overhead: {tel_cur:+.1f}% on-vs-off"
+        if tel_base is not None:
+            line += f" (baseline {tel_base:+.1f}%)"
+            if tel_cur > tel_base + 100.0 * args.tolerance:
+                regressions.append(
+                    f"chirper.telemetry: recorder overhead {tel_cur:.1f}% vs "
+                    f"baseline {tel_base:.1f}%")
+        print(f"\n{line}")
 
     if regressions:
         print()

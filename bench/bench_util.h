@@ -44,6 +44,14 @@ namespace dssmr::bench {
 ///                          `telemetry` section, so pair it with --json
 ///   --telemetry-interval N sampling cadence / bucket width in microseconds
 ///                          (default 100000 = 100ms); implies --telemetry
+///   --batch-size N         batch N logical submissions per flush (default 0
+///                          = batching off, byte-identical to the unbatched
+///                          code); benches forward batch_size() into their
+///                          run configs
+///   --batch-delay-us N     max virtual-time batching wait in microseconds
+///                          (default 100)
+///   --pipeline-depth N     allow N in-flight Paxos proposals per leader
+///                          (default 0 = unbounded single-flush behavior)
 class RunRecordSink {
  public:
   RunRecordSink(int argc, char** argv, std::string experiment)
@@ -78,6 +86,33 @@ class RunRecordSink {
           telemetry_ = true;
           telemetry_interval_ = static_cast<Duration>(us);
         }
+      } else if (std::strcmp(argv[i], "--batch-size") == 0) {
+        const std::string v = next_or("");
+        const long long n = v.empty() ? -1 : std::atoll(v.c_str());
+        if (n < 0) {
+          std::fprintf(stderr, "--batch-size needs a non-negative count\n");
+          bad_args_ = true;
+        } else {
+          batch_size_ = static_cast<std::size_t>(n);
+        }
+      } else if (std::strcmp(argv[i], "--batch-delay-us") == 0) {
+        const std::string v = next_or("");
+        const long long us = v.empty() ? 0 : std::atoll(v.c_str());
+        if (us <= 0) {
+          std::fprintf(stderr, "--batch-delay-us needs a positive microsecond count\n");
+          bad_args_ = true;
+        } else {
+          batch_delay_ = static_cast<Duration>(us);
+        }
+      } else if (std::strcmp(argv[i], "--pipeline-depth") == 0) {
+        const std::string v = next_or("");
+        const long long n = v.empty() ? -1 : std::atoll(v.c_str());
+        if (n < 0) {
+          std::fprintf(stderr, "--pipeline-depth needs a non-negative count\n");
+          bad_args_ = true;
+        } else {
+          pipeline_depth_ = static_cast<std::size_t>(n);
+        }
       } else if (std::strcmp(argv[i], "--nemesis") == 0) {
         nemesis_ = next_or("");
         if (nemesis_.empty()) {
@@ -96,7 +131,8 @@ class RunRecordSink {
         std::fprintf(stderr,
                      "unknown flag %s (supported: --json [path], --jobs N, "
                      "--trace [path], --trace-chrome [path], --nemesis <plan>, "
-                     "--telemetry, --telemetry-interval <us>)\n",
+                     "--telemetry, --telemetry-interval <us>, --batch-size <n>, "
+                     "--batch-delay-us <us>, --pipeline-depth <n>)\n",
                      argv[i]);
         bad_args_ = true;
       }
@@ -124,6 +160,12 @@ class RunRecordSink {
   /// to this; the run record then carries a `telemetry` section.
   bool telemetry_wanted() const { return telemetry_; }
   Duration telemetry_interval() const { return telemetry_interval_; }
+  /// Benches forward these into ChirperRunConfig::{batch_size, batch_delay,
+  /// pipeline_depth}; the defaults keep every bench byte-identical to the
+  /// pre-batching output.
+  std::size_t batch_size() const { return batch_size_; }
+  Duration batch_delay() const { return batch_delay_; }
+  std::size_t pipeline_depth() const { return pipeline_depth_; }
 
   void add(stats::RunRecord record) { records_.push_back(std::move(record)); }
 
@@ -180,6 +222,9 @@ class RunRecordSink {
   std::string nemesis_;
   bool telemetry_ = false;
   Duration telemetry_interval_ = msec(100);
+  std::size_t batch_size_ = 0;
+  Duration batch_delay_ = usec(100);
+  std::size_t pipeline_depth_ = 0;
   std::size_t jobs_ = 1;
   bool bad_args_ = false;
   std::vector<stats::RunRecord> records_;

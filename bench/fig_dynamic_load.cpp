@@ -105,6 +105,9 @@ int main(int argc, char** argv) {
     dep.telemetry = sink.telemetry_wanted();
     dep.telemetry_interval = sink.telemetry_interval();
     dep.spans_capacity = sink.spans_capacity();
+    dep.batch_size = sink.batch_size();
+    dep.batch_delay = sink.batch_delay();
+    dep.pipeline_depth = sink.pipeline_depth();
 
     harness::PolicyFactory policy;
     if (dynastar) {

@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
     cfg.telemetry = sink.telemetry_wanted();
     cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
+    cfg.batch_size = sink.batch_size();
+    cfg.batch_delay = sink.batch_delay();
+    cfg.pipeline_depth = sink.pipeline_depth();
     points.push_back({cfg, cache ? "cache-on" : "cache-off"});
   }
   {
@@ -56,6 +59,9 @@ int main(int argc, char** argv) {
     cfg.telemetry = sink.telemetry_wanted();
     cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
+    cfg.batch_size = sink.batch_size();
+    cfg.batch_delay = sink.batch_delay();
+    cfg.pipeline_depth = sink.pipeline_depth();
     points.push_back({cfg, "busy-over-time"});
   }
   for (std::size_t parts : {2u, 4u, 8u}) {
@@ -66,6 +72,9 @@ int main(int argc, char** argv) {
     cfg.telemetry = sink.telemetry_wanted();
     cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
+    cfg.batch_size = sink.batch_size();
+    cfg.batch_delay = sink.batch_delay();
+    cfg.pipeline_depth = sink.pipeline_depth();
     points.push_back({cfg, "parts-" + std::to_string(parts)});
   }
   const auto results = run_points(sink, points);

@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
     cfg.telemetry = sink.telemetry_wanted();
     cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();
+    cfg.batch_size = sink.batch_size();
+    cfg.batch_delay = sink.batch_delay();
+    cfg.pipeline_depth = sink.pipeline_depth();
     points.push_back({cfg, c.label});
   }
   const auto results = run_points(sink, points);

@@ -141,7 +141,9 @@ double engine_fire_loop(EngineLike& engine, std::uint64_t iters, ScheduleFn sche
   std::uint64_t from = 1, to = 2, payload = 3;
   const auto t0 = Clock::now();
   for (std::uint64_t i = 0; i < iters; ++i) {
-    schedule(engine, [&sink, from, to, payload] { sink += static_cast<std::int64_t>(from + to + payload) / 6; });
+    schedule(engine, [&sink, from, to, payload] {
+      sink += static_cast<std::int64_t>(from + to + payload) / 6;
+    });
     step(engine);
   }
   const double wall = seconds_since(t0);
@@ -346,6 +348,65 @@ BenchResult bench_chirper_telemetry(bool smoke) {
   return r;
 }
 
+// Batching-on/off pair on the same config and seed: the unbatched run is the
+// denominator, so `speedup_vs_unbatched` directly states what command
+// batching plus consensus pipelining buys on the hot path. The workload is
+// post-only (the paper's scalability experiments focus on posts — the
+// multi-partition command) with a 30% edge cut, so a large share of commands
+// multicast to both groups and batching amortizes the per-command Skeen
+// timestamp exchange, Paxos instances and submit fan-out.
+//
+// Two ratios are reported: `speedup_vs_unbatched` (wall-clock, noisy on
+// shared runners) and `event_ratio` (simulator events per command, fully
+// deterministic — same seed, same number). tools/perf_compare.py enforces a
+// hard >= 1.5 floor on both; event_ratio is the load-bearing one.
+BenchResult bench_chirper_batched(bool smoke) {
+  auto cfg = small_chirper(smoke, 42);
+  cfg.clients_per_partition = 16;
+  cfg.controlled_edge_cut = 0.3;
+  cfg.workload.mix = workload::mixes::kPostOnly;
+  cfg.workload.zipf_theta = 0.99;
+  cfg.client_cache = false;
+
+  // Rates use the drive-phase wall clock (setup — graph build, partitioning,
+  // preload — is identical for both runs and would only dilute the ratio).
+  const harness::RunResult off = harness::run_chirper(cfg);
+  const double off_wall = off.drive_wall_s;
+
+  cfg.batch_size = 16;
+  cfg.batch_delay = usec(1000);
+  cfg.pipeline_depth = 8;
+  const harness::RunResult on = harness::run_chirper(cfg);
+  const double on_wall = on.drive_wall_s;
+
+  double flushes = 0;
+  double entries = 0;
+  for (const auto& [name, c] : on.metrics.counters()) {
+    if (name == "batch.flushes") flushes = static_cast<double>(c.value());
+    if (name == "batch.entries") entries = static_cast<double>(c.value());
+  }
+
+  const auto ev_per_cmd = [](const harness::RunResult& r) {
+    const double ops = static_cast<double>(r.counter("client.ops"));
+    return ops > 0 ? static_cast<double>(r.events_executed) / ops : 0.0;
+  };
+  const double on_ev = ev_per_cmd(on);
+  const double off_ev = ev_per_cmd(off);
+
+  const double on_rate = static_cast<double>(on.ok + on.nok) / on_wall;
+  const double off_rate = static_cast<double>(off.ok + off.nok) / off_wall;
+  BenchResult r{"chirper.batched", on_rate, on_wall, {}};
+  r.extra.emplace_back("throughput_cps", on.throughput_cps);
+  r.extra.emplace_back("unbatched_throughput_cps", off.throughput_cps);
+  r.extra.emplace_back("unbatched_items_per_sec", off_rate);
+  r.extra.emplace_back("speedup_vs_unbatched", on_rate / off_rate);
+  r.extra.emplace_back("events_per_command", on_ev);
+  r.extra.emplace_back("unbatched_events_per_command", off_ev);
+  r.extra.emplace_back("event_ratio", on_ev > 0 ? off_ev / on_ev : 0.0);
+  r.extra.emplace_back("mean_batch_entries", flushes > 0 ? entries / flushes : 0.0);
+  return r;
+}
+
 BenchResult bench_sweep_parallel(bool smoke, std::size_t jobs) {
   std::vector<harness::ChirperRunConfig> cfgs;
   for (std::uint64_t s = 0; s < 4; ++s) cfgs.push_back(small_chirper(smoke, 40 + s));
@@ -408,6 +469,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_zipf_sample(kIters));
   results.push_back(bench_chirper_small(smoke));
   results.push_back(bench_chirper_telemetry(smoke));
+  results.push_back(bench_chirper_batched(smoke));
   results.push_back(bench_sweep_parallel(smoke, jobs));
 
   const double total_wall = seconds_since(suite_t0);

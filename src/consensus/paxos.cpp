@@ -77,6 +77,7 @@ void PaxosCore::restart() {
   p1b_granted_.clear();
   p1b_accepted_.clear();
   proposals_.clear();
+  inflight_ = 0;
   pending_.clear();
   submitted_ids_.clear();
   // The election timer doubles as the catch-up trigger: the current leader's
@@ -171,6 +172,7 @@ void PaxosCore::start_election() {
 void PaxosCore::become_leader() {
   role_ = Role::Leader;
   proposals_.clear();
+  inflight_ = 0;
   if (trace_ != nullptr) {
     trace_->record(stats::TraceEvent::kLeaderChange, engine_.now(), self_.value, gid_.value,
                    static_cast<std::int64_t>(ballot_));
@@ -221,13 +223,34 @@ bool PaxosCore::submit(LogEntry entry) {
 }
 
 void PaxosCore::flush_pending() {
-  if (pending_.empty()) return;
-  propose(next_slot_++, std::exchange(pending_, {}));
+  if (cfg_.pipeline_depth == 0) {
+    // Unbounded: everything pending becomes one slot (original behavior).
+    if (pending_.empty()) return;
+    propose(next_slot_++, std::exchange(pending_, {}));
+    return;
+  }
+  // Pipelined: propose chunks of up to max_batch while the window has room.
+  // Leftover entries stay pending and are re-flushed as decisions land, so
+  // under load the per-slot batches grow instead of the slot count.
+  while (!pending_.empty() && inflight_ < cfg_.pipeline_depth) {
+    if (pending_.size() <= cfg_.max_batch) {
+      propose(next_slot_++, std::exchange(pending_, {}));
+      break;
+    }
+    Batch chunk(std::make_move_iterator(pending_.begin()),
+                std::make_move_iterator(pending_.begin() +
+                                        static_cast<std::ptrdiff_t>(cfg_.max_batch)));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(cfg_.max_batch));
+    propose(next_slot_++, std::move(chunk));
+  }
+  if (!pending_.empty()) arm_batch_timer();
 }
 
 void PaxosCore::propose(Slot slot, Batch batch) {
   auto [it, inserted] = proposals_.try_emplace(slot);
   if (!inserted && it->second.decided) return;
+  if (inserted) ++inflight_;
   it->second.batch = std::move(batch);
   it->second.acks.clear();
   it->second.acks.insert(self_index_);
@@ -373,11 +396,19 @@ void PaxosCore::decide(Slot slot, Batch batch, bool broadcast_commit) {
   if (slot < next_deliver_) return;  // already delivered
   const bool fresh = !decided_.contains(slot);
   if (fresh) decided_[slot] = std::move(batch);
-  if (auto it = proposals_.find(slot); it != proposals_.end()) it->second.decided = true;
+  if (auto it = proposals_.find(slot); it != proposals_.end() && !it->second.decided) {
+    it->second.decided = true;
+    if (inflight_ > 0) --inflight_;
+  }
   if (broadcast_commit && fresh) {
     broadcast(net::make_msg<CommitMsg>(gid_, slot, decided_[slot]));
   }
   advance_delivery();
+  // A decision freed a pipeline slot; push the backlog into it right away.
+  if (cfg_.pipeline_depth != 0 && role_ == Role::Leader && !pending_.empty() &&
+      inflight_ < cfg_.pipeline_depth) {
+    flush_pending();
+  }
 }
 
 void PaxosCore::advance_delivery() {

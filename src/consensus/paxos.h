@@ -67,6 +67,13 @@ struct PaxosConfig {
   std::size_t max_batch = 64;
   /// Decided slots kept behind the delivery point for catch-up.
   Slot retain_window = 4096;
+  /// Max undecided slots the leader keeps in flight. 0 = unbounded: every
+  /// flush proposes all pending entries as one slot (the original behavior).
+  /// With a window, each flush proposes chunks of up to `max_batch` entries
+  /// while the window has room; the rest accumulates in `pending_` and is
+  /// re-flushed as decisions free slots, so batches grow under load instead
+  /// of queueing one slot per arrival burst.
+  std::size_t pipeline_depth = 0;
 };
 
 // ---- wire messages ---------------------------------------------------------
@@ -163,6 +170,10 @@ class PaxosCore {
   bool handle(ProcessId from, const net::MessagePtr& m);
 
   bool is_leader() const { return role_ == Role::Leader; }
+  /// Undecided proposals currently in flight (telemetry; leader-side).
+  std::size_t inflight_proposals() const { return inflight_; }
+  /// Entries buffered but not yet proposed (telemetry; leader-side).
+  std::size_t pending_entries() const { return pending_.size(); }
   /// Best guess at the current leader (self while leading).
   ProcessId leader_hint() const;
   Slot delivered_upto() const { return next_deliver_ - 1; }
@@ -247,6 +258,8 @@ class PaxosCore {
   std::map<Slot, std::pair<Ballot, Batch>> p1b_accepted_;
   Slot next_slot_ = 1;
   std::map<Slot, Proposal> proposals_;
+  /// Count of undecided entries in proposals_ (the pipeline occupancy).
+  std::size_t inflight_ = 0;
   Batch pending_;
   std::unordered_set<std::uint64_t> submitted_ids_;
 

@@ -91,18 +91,27 @@ void ClientProxy::decompose_reply(const ReplyMsg& r) {
   stats::SpanStore* sp = spans();
   if (sp == nullptr || !sp->enabled() || root_span_ == 0) return;
   // Split [sent_at_, now] with the server's piggybacked timestamps. Clamping
-  // keeps the cut points monotone inside the window, so the four spans tile
-  // it exactly even with odd timing: an all-zero ReplyTiming clamps every cut
+  // keeps the cut points monotone inside the window, so the spans tile it
+  // exactly even with odd timing: an all-zero ReplyTiming clamps every cut
   // up to sent_at_ (the whole window counts as reply), and timestamps from a
   // retransmitted delivery stay within the first-send window.
   const Time now = network().engine().now();
   const Time s = sent_at_;
-  const Time d = std::clamp(r.timing.delivered_at, s, now);
+  // Batched sends wait at the relay first; the flush time splits that wait
+  // out of the amcast phase. Unbatched runs record no batch span at all.
+  Time a = s;
+  if (batched()) {
+    const Time f = std::clamp(batch_flushed_at_, s, now);
+    sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kBatch,
+                .start = s, .end = f, .node = pid().value, .group = r.from_group});
+    a = f;
+  }
+  const Time d = std::clamp(r.timing.delivered_at, a, now);
   const Time es = std::clamp(r.timing.exec_start, d, now);
   const Time ee = std::clamp(r.timing.exec_end, es, now);
   const GroupId g = r.from_group;
   sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kAmcast,
-              .start = s, .end = d, .node = pid().value, .group = g});
+              .start = a, .end = d, .node = pid().value, .group = g});
   sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kQueue,
               .start = d, .end = es, .node = pid().value, .group = g});
   sp->record({.trace_id = cmd_.trace_id, .parent = root_span_, .phase = SpanPhase::kExecute,
@@ -291,8 +300,16 @@ void ClientProxy::send_command(std::vector<GroupId> dests, Phase next_phase) {
   awaited_reply_ = cmd_.id;
   phase_ = next_phase;
   sent_at_ = network().engine().now();  // first send; retransmissions keep the window
+  batch_flushed_at_ = 0;
   auto payload = net::make_msg<CommandMsg>(cmd_);
-  amcast_with_id(fresh_id(), dests, payload);
+  // The flush callback pins down when the first send actually left the relay;
+  // it checks the window is still the one it was armed for, so a late flush
+  // of a retried window never pollutes a newer one. Retransmissions pass no
+  // callback — the window keeps its first flush time.
+  const Time sent = sent_at_;
+  amcast_with_id(fresh_id(), dests, payload, [this, sent](Time flushed_at) {
+    if (sent_at_ == sent && batch_flushed_at_ == 0) batch_flushed_at_ = flushed_at;
+  });
   resend_ = [this, dests, payload] {
     amcast_with_id(fresh_id(), dests, payload);
     arm_timeout();

@@ -30,6 +30,13 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
 
   config_.server.oracle_group = GroupId{static_cast<std::uint32_t>(config_.partitions)};
 
+  // Batching/pipelining knobs fan into the per-node configs before any node
+  // is initialized. batch_size == 0 leaves both configs at their defaults,
+  // so the deployment stays byte-identical to the pre-batching layout.
+  config_.node.batching.batch_size = config_.batch_size;
+  config_.node.batching.batch_delay = config_.batch_delay;
+  config_.node.paxos.pipeline_depth = config_.pipeline_depth;
+
   // Register partition replicas: partition i lives in rack i % 2 (two
   // switches in the paper's testbed).
   for (std::size_t p = 0; p < config_.partitions; ++p) {
@@ -75,6 +82,18 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
     oracles_[r]->set_metrics(&metrics_);
   }
 
+  // Client-tier batch relays, one per rack, only when batching is on (the
+  // process-id layout must not shift for batching-off runs).
+  if (config_.node.batching.enabled()) {
+    for (int rack = 0; rack < 2; ++rack) {
+      auto relay = std::make_unique<multicast::BatchRelay>();
+      network_.add_process(*relay, rack);
+      relay->init_relay(network_, directory_, config_.node.batching);
+      relay->batcher().set_metrics(&metrics_);
+      relays_.push_back(std::move(relay));
+    }
+  }
+
   // Clients, alternating racks.
   core::ClientConfig ccfg;
   ccfg.strategy = config_.strategy;
@@ -89,6 +108,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
     auto client = std::make_unique<core::ClientProxy>();
     network_.add_process(*client, static_cast<int>(c % 2));
     client->init_client(network_, directory_, ccfg, &metrics_);
+    if (!relays_.empty()) client->set_batcher(&relays_[c % relays_.size()]->batcher());
     clients_.push_back(std::move(client));
   }
 
@@ -155,6 +175,24 @@ void Deployment::register_telemetry_gauges() {
     const std::uint64_t decisions = hits + consults;
     return decisions == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(decisions);
   });
+
+  // Batching/pipelining occupancy, only when the knobs are live (the gauge
+  // set of a batching-off run must match the pre-batching one).
+  if (config_.node.batching.enabled() || config_.pipeline_depth != 0) {
+    rec.register_gauge("batch.occupancy", [this] {
+      std::size_t queued = 0;
+      for (auto& rl : relays_) queued += rl->batcher().pending_entries();
+      for (auto& s : servers_) queued += s->batch_pending();
+      for (auto& o : oracles_) queued += o->batch_pending();
+      return static_cast<double>(queued);
+    });
+    rec.register_gauge("paxos.pipeline_inflight", [this] {
+      std::size_t inflight = 0;
+      for (auto& s : servers_) inflight += s->paxos_inflight();
+      for (auto& o : oracles_) inflight += o->paxos_inflight();
+      return static_cast<double>(inflight);
+    });
+  }
 
   // Oracle state: mapped variables and (for DynaStar-style policies) the
   // workload-graph size. Replica 0's view — replicas hold identical state.

@@ -16,6 +16,7 @@
 #include "core/mapping.h"
 #include "core/oracle.h"
 #include "core/server_proxy.h"
+#include "multicast/batcher.h"
 #include "multicast/directory.h"
 #include "net/network.h"
 #include "sim/engine.h"
@@ -42,6 +43,18 @@ struct DeploymentConfig {
   int client_max_retries = 3;
   Duration client_timeout = msec(250);
   bool client_hints = false;
+
+  /// Submission batching (multicast/batcher.h): 0 disables it and the
+  /// deployment is byte-identical to a build without batching — no relay
+  /// processes exist and group nodes construct no batcher. When > 0, one
+  /// BatchRelay per rack collects its clients' multicasts and every group
+  /// node batches its remote submissions with the same knobs.
+  std::size_t batch_size = 0;
+  /// Max virtual-time wait from the first queued submission to the flush.
+  Duration batch_delay = usec(100);
+  /// Paxos pipeline window: in-flight proposals per leader (0 = unbounded,
+  /// the original single-slot-per-flush behavior).
+  std::size_t pipeline_depth = 0;
 
   Duration metrics_bucket = sec(1);
   std::uint64_t seed = 1;
@@ -104,6 +117,9 @@ class Deployment {
   core::OracleNode& oracle(std::size_t replica) { return *oracles_[replica]; }
   core::ClientProxy& client(std::size_t i) { return *clients_[i]; }
   std::size_t client_count() const { return clients_.size(); }
+  /// Client-tier batch relays (empty when batching is off).
+  std::size_t relay_count() const { return relays_.size(); }
+  multicast::BatchRelay& relay(std::size_t i) { return *relays_[i]; }
 
   core::StaticMap& static_map() { return *static_map_; }
 
@@ -136,6 +152,9 @@ class Deployment {
   std::shared_ptr<core::StaticMap> static_map_;
   std::vector<std::unique_ptr<core::PartitionServer>> servers_;
   std::vector<std::unique_ptr<core::OracleNode>> oracles_;
+  /// One per rack when batching is on; registered after the oracles so that
+  /// batching-off deployments keep the exact seed process-id layout.
+  std::vector<std::unique_ptr<multicast::BatchRelay>> relays_;
   std::vector<std::unique_ptr<core::ClientProxy>> clients_;
 };
 

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include <optional>
@@ -112,6 +113,9 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   dep.clients = cfg.partitions * cfg.clients_per_partition;
   dep.strategy = cfg.strategy;
   dep.node.rmcast_relay = cfg.rmcast_relay;
+  dep.batch_size = cfg.batch_size;
+  dep.batch_delay = cfg.batch_delay;
+  dep.pipeline_depth = cfg.pipeline_depth;
   dep.client_cache = cfg.client_cache;
   dep.seed = cfg.seed;
   dep.trace = cfg.trace;
@@ -170,9 +174,17 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
 
   workload::ChirperWorkload wl{prepared.graph, cfg.workload, cfg.seed * 31 + 7};
   ClosedLoopDriver driver{d, [&wl] { return wl.next(); }};
+  const std::uint64_t drive_ev0 = d.engine().events_executed();
+  const auto drive_t0 = std::chrono::steady_clock::now();
   driver.run(cfg.warmup, cfg.measure);
+  const double drive_wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - drive_t0)
+          .count();
 
   RunResult r;
+  r.drive_wall_s = drive_wall;
+  r.events_executed = d.engine().events_executed() - drive_ev0;
   r.label = std::string(to_string(cfg.strategy)) + "/" + to_string(cfg.placement);
   r.throughput_cps = driver.throughput_cps();
   r.latency_hist = driver.latency();
@@ -227,6 +239,11 @@ stats::RunRecord make_run_record(const ChirperRunConfig& cfg, const RunResult& r
   rec.add_meta("measure_us", std::to_string(cfg.measure));
   rec.add_meta("client_cache", cfg.client_cache ? "true" : "false");
   rec.add_meta("nemesis", cfg.nemesis.empty() ? "none" : cfg.nemesis);
+  if (cfg.batch_size > 0 || cfg.pipeline_depth > 0) {
+    rec.add_meta("batch_size", std::to_string(cfg.batch_size));
+    rec.add_meta("batch_delay_us", std::to_string(cfg.batch_delay));
+    rec.add_meta("pipeline_depth", std::to_string(cfg.pipeline_depth));
+  }
   rec.add_meta("telemetry", cfg.telemetry ? "on" : "off");
   if (cfg.telemetry) {
     rec.add_meta("telemetry_interval_us", std::to_string(cfg.telemetry_interval));

@@ -101,6 +101,12 @@ struct ChirperRunConfig {
   std::size_t replicas_per_partition = 2;
   bool rmcast_relay = false;  // crash-free perf runs
 
+  /// Submission batching / consensus pipelining (see DeploymentConfig):
+  /// batch_size 0 keeps the run byte-identical to the pre-batching code.
+  std::size_t batch_size = 0;
+  Duration batch_delay = usec(100);
+  std::size_t pipeline_depth = 0;
+
   /// Structured event trace (stats::Trace) for the run; the full trace is
   /// returned in RunResult::metrics and summarized in run records.
   bool trace = false;
@@ -132,6 +138,12 @@ struct RunResult {
   std::int64_t latency_p99_us = 0;
   std::uint64_t ok = 0;
   std::uint64_t nok = 0;
+  /// Simulator events executed during the drive phase (setup and settle
+  /// excluded; deterministic per seed — the perf suite's batched/unbatched
+  /// pair gates on the ratio).
+  std::uint64_t events_executed = 0;
+  /// Wall-clock seconds spent driving the simulation (setup excluded).
+  double drive_wall_s = 0;
   std::map<std::string, std::uint64_t> counters;
   /// Per-second series over the whole run (index = second).
   std::vector<double> tput_series;

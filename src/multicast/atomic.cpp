@@ -238,6 +238,11 @@ void GroupNode::init_group_node(net::Network& network, const Directory& director
       [this](ProcessId origin, const net::MessagePtr& payload) {
         on_rmdeliver(origin, payload);
       });
+
+  if (config_.batching.enabled()) {
+    batcher_ = std::make_unique<SubmitBatcher>();
+    batcher_->init(network, directory, pid(), config_.batching);
+  }
 }
 
 void GroupNode::start() {
@@ -254,12 +259,14 @@ void GroupNode::set_trace(stats::Trace* trace) {
 void GroupNode::set_metrics(stats::Metrics* metrics) {
   DSSMR_ASSERT_MSG(paxos_ != nullptr, "init_group_node() not called");
   delivered_ctr_ = metrics != nullptr ? &metrics->counter_handle("amcast.delivered") : nullptr;
+  if (batcher_ != nullptr) batcher_->set_metrics(metrics);
 }
 
 void GroupNode::halt_node() {
   halted_ = true;
   if (paxos_ != nullptr) paxos_->halt();
   if (amcast_ != nullptr) amcast_->halt();
+  if (batcher_ != nullptr) batcher_->halt();
 }
 
 void GroupNode::restart_node() {
@@ -267,6 +274,7 @@ void GroupNode::restart_node() {
   halted_ = false;
   if (paxos_ != nullptr) paxos_->restart();
   if (amcast_ != nullptr) amcast_->restart();
+  if (batcher_ != nullptr) batcher_->restart();
 }
 
 void GroupNode::on_message(ProcessId from, const net::MessagePtr& m) {
@@ -277,6 +285,12 @@ void GroupNode::on_message(ProcessId from, const net::MessagePtr& m) {
   if (paxos_->handle(from, m)) return;
   if (const auto* sub = net::msg_cast<SubmitToLog>(m)) {
     if (sub->gid == gid_ && paxos_->is_leader()) paxos_->submit(sub->entry);
+    return;
+  }
+  if (const auto* batch = net::msg_cast<BatchSubmitMsg>(m)) {
+    if (batch->gid == gid_ && paxos_->is_leader()) {
+      for (const consensus::LogEntry& e : batch->entries) paxos_->submit(e);
+    }
     return;
   }
   if (const auto* q = net::msg_cast<TsQuery>(m)) {
@@ -317,6 +331,12 @@ void GroupNode::send_direct(ProcessId to, net::MessagePtr payload) {
 void GroupNode::submit_local_or_remote(GroupId g, consensus::LogEntry entry) {
   if (g == gid_ && paxos_->is_leader()) {
     paxos_->submit(std::move(entry));
+    return;
+  }
+  if (batcher_ != nullptr) {
+    // Server-tier batching: the entry rides the next BatchSubmitMsg to g's
+    // members instead of fanning out immediately.
+    batcher_->submit(g, std::move(entry));
     return;
   }
   auto wrapped = net::make_msg<SubmitToLog>(g, std::move(entry));

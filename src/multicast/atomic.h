@@ -37,6 +37,7 @@
 #include "common/bounded.h"
 #include "common/types.h"
 #include "consensus/paxos.h"
+#include "multicast/batcher.h"
 #include "multicast/directory.h"
 #include "multicast/messages.h"
 #include "multicast/reliable.h"
@@ -136,6 +137,11 @@ struct GroupNodeConfig {
   Duration ts_retry_interval = msec(50);
   /// Reliable-multicast flooding (turn off in crash-free perf runs).
   bool rmcast_relay = true;
+  /// Server-tier submission batching: remote submissions (timestamp pushes,
+  /// stamp re-disseminations) queue in an embedded SubmitBatcher instead of
+  /// fanning out per entry. Off by default — the node then constructs no
+  /// batcher and the message schedule matches the pre-batching code exactly.
+  BatchConfig batching;
 };
 
 /// A replica process belonging to exactly one multicast group.
@@ -185,6 +191,14 @@ class GroupNode : public net::Actor {
   std::uint64_t amcast_delivered() const { return amcast_->delivered_count(); }
   /// Stamped-but-undelivered multicasts at this replica (telemetry gauge).
   std::size_t amcast_pending() const { return amcast_->pending_count(); }
+  /// Undecided Paxos proposals in flight here (telemetry gauge; nonzero only
+  /// while leading).
+  std::size_t paxos_inflight() const { return paxos_->inflight_proposals(); }
+  /// Entries queued in the embedded server-tier batcher (0 when batching is
+  /// off or nothing is queued).
+  std::size_t batch_pending() const {
+    return batcher_ != nullptr ? batcher_->pending_entries() : 0;
+  }
 
   /// Wires the deployment-wide event trace (leader-gated kAmcastDeliver here,
   /// kLeaderChange in the Paxos core). Call after init_group_node().
@@ -225,6 +239,8 @@ class GroupNode : public net::Actor {
   std::unique_ptr<consensus::PaxosCore> paxos_;
   std::unique_ptr<AmcastCore> amcast_;
   std::unique_ptr<RmcastEngine> rmcast_;
+  /// Server-tier submission batcher; null unless config_.batching enables it.
+  std::unique_ptr<SubmitBatcher> batcher_;
   stats::Trace* trace_ = nullptr;
   stats::SpanStore* spans_ = nullptr;
   /// Interned by set_metrics(); nullptr when no metrics sink is wired.

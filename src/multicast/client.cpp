@@ -20,10 +20,14 @@ MsgId ClientNode::fresh_id() {
   return MsgId{(static_cast<std::uint64_t>(pid().value) << 32) | next_msg_seq_++};
 }
 
-void ClientNode::amcast_with_id(MsgId id, std::vector<GroupId> dests,
-                                net::MessagePtr payload) {
+void ClientNode::amcast_with_id(MsgId id, std::vector<GroupId> dests, net::MessagePtr payload,
+                                SubmitBatcher::FlushFn on_flush) {
   normalize_dests(dests);
   AmcastMessage msg{id, pid(), dests, std::move(payload)};
+  if (batcher_ != nullptr) {
+    batcher_->amcast(msg, std::move(on_flush));
+    return;
+  }
   auto stamp = net::make_msg<StampEntry>(std::move(msg));
   for (GroupId g : dests) {
     auto wrapped = net::make_msg<SubmitToLog>(

@@ -64,6 +64,26 @@ struct SubmitToLog final : net::Message {
   }
 };
 
+/// A batch of log-entry submissions for one group, accumulated by a
+/// SubmitBatcher (see multicast/batcher.h) and shipped as a single message.
+/// Like SubmitToLog, it is sent to every group member and only the current
+/// Paxos leader sequences the entries; the leader's entry-id dedup absorbs
+/// duplicated batches from retries.
+struct BatchSubmitMsg final : net::Message {
+  GroupId gid;
+  std::vector<consensus::LogEntry> entries;
+  BatchSubmitMsg(GroupId g, std::vector<consensus::LogEntry> e)
+      : gid(g), entries(std::move(e)) {}
+  const char* type_name() const override { return "amcast.batchsubmit"; }
+  std::size_t size_bytes() const override {
+    std::size_t n = 24;
+    for (const auto& e : entries) {
+      n += 16 + (e.payload != nullptr ? e.payload->size_bytes() : 0);
+    }
+    return n;
+  }
+};
+
 /// Reliable-multicast envelope.
 struct RmMsg final : net::Message {
   MsgId id;
@@ -82,7 +102,8 @@ struct RmMsg final : net::Message {
 /// Mixes a message id and a group into a deterministic log-entry id, so that
 /// retried submissions of the same logical entry deduplicate at the leader.
 inline MsgId derive_entry_id(MsgId base, GroupId g, std::uint64_t salt) {
-  std::uint64_t x = base.value ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(g.value) + 1)) ^
+  std::uint64_t x = base.value ^
+                    (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(g.value) + 1)) ^
                     (salt * 0xbf58476d1ce4e5b9ULL);
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;

@@ -233,6 +233,30 @@ void write_run_records(std::ostream& os, std::string_view experiment,
       w.key("telemetry");
       write_telemetry(w, run.metrics.recorder());
     }
+    // v5: submission-batching summary, present only for runs that carried
+    // `batch.*` metrics (batching was on somewhere). Counters are re-emitted
+    // with the prefix stripped, plus the flush-size histogram, so batching
+    // tooling has one stable place to look.
+    bool any_batching = false;
+    for (const auto& [name, c] : run.metrics.counters()) {
+      if (name.starts_with("batch.")) {
+        any_batching = true;
+        break;
+      }
+    }
+    if (any_batching) {
+      w.key("batching");
+      w.begin_object();
+      for (const auto& [name, c] : run.metrics.counters()) {
+        if (name.starts_with("batch.")) w.field(name.substr(6), c.value());
+      }
+      if (const Histogram* h = run.metrics.find_histogram("batch.size_entries");
+          h != nullptr && h->count() > 0) {
+        w.key("size_entries");
+        write_histogram(w, *h);
+      }
+      w.end_object();
+    }
     w.key("spans");
     write_spans_summary(w, spans);
     w.key("trace");

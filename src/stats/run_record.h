@@ -1,4 +1,4 @@
-// Machine-readable per-run records (schema "dssmr.run_record.v4").
+// Machine-readable per-run records (schema "dssmr.run_record.v5").
 //
 // Every bench binary can serialize its runs to JSON so the repo's perf
 // trajectory is diffable: counters, histogram summaries (count/min/max/mean/
@@ -9,10 +9,13 @@
 // metrics — v3's addition, see fault/nemesis.h), a `telemetry` section with
 // windowed flight-recorder data — gauge samples, per-partition heat,
 // windowed latency percentiles and timeline marks (present when the run's
-// Recorder was enabled — v4's addition, see stats/recorder.h) — and
-// free-form run metadata (strategy, partitions, seed, ...). The format is
-// documented in EXPERIMENTS.md; CI asserts one of these files parses and
-// carries a nonzero client.ops.
+// Recorder was enabled — v4's addition, see stats/recorder.h), a `batching`
+// section summarizing submission batching — flush counts by trigger, entry
+// totals and the flush-size histogram (present when a run carried `batch.*`
+// metrics — v5's addition, see multicast/batcher.h) — and free-form run
+// metadata (strategy, partitions, seed, ...). The format is documented in
+// EXPERIMENTS.md; CI asserts one of these files parses and carries a nonzero
+// client.ops.
 #pragma once
 
 #include <iosfwd>
@@ -25,7 +28,7 @@
 
 namespace dssmr::stats {
 
-inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v4";
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v5";
 
 struct RunRecord {
   std::string label;

@@ -9,6 +9,7 @@ std::string_view to_string(SpanPhase p) {
     case SpanPhase::kCommand: return "command";
     case SpanPhase::kConsult: return "consult";
     case SpanPhase::kMove: return "move";
+    case SpanPhase::kBatch: return "batch";
     case SpanPhase::kAmcast: return "amcast";
     case SpanPhase::kQueue: return "queue";
     case SpanPhase::kExecute: return "execute";

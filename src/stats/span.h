@@ -40,6 +40,7 @@ enum class SpanPhase : std::uint8_t {
   kCommand,   // root: client issue() -> reply handed to the application
   kConsult,   // client sent a consult -> prophecy received
   kMove,      // collocation wait: move issued/awaited -> destination confirmed
+  kBatch,     // batching wait: command handed to the batcher -> batch flushed
   kAmcast,    // command submitted to atomic multicast -> ordered delivery
   kQueue,     // delivery -> execution start (ownership checks, input waits)
   kExecute,   // execution occupying the partition's simulated CPU
@@ -61,10 +62,12 @@ std::string_view to_string(SpanPhase p);
 /// The client-attributed phases, in decomposition order: for every finished
 /// command, the durations folded under these phases tile [issue, finish], so
 /// their histogram totals sum exactly to the kCommand histogram total.
-/// (kFallback covers a window already decomposed into amcast/queue/execute/
+/// (kBatch appears only when submission batching is on — the batcher's flush
+/// time splits the post-send window; unbatched runs never record it.
+/// kFallback covers a window already decomposed into amcast/queue/execute/
 /// reply and kOracle is a server-side view; both are recorded fold=false.)
-inline constexpr std::array<SpanPhase, 6> kLatencyPhases = {
-    SpanPhase::kConsult, SpanPhase::kMove,    SpanPhase::kAmcast,
+inline constexpr std::array<SpanPhase, 7> kLatencyPhases = {
+    SpanPhase::kConsult, SpanPhase::kMove,    SpanPhase::kBatch,  SpanPhase::kAmcast,
     SpanPhase::kQueue,   SpanPhase::kExecute, SpanPhase::kReply,
 };
 

@@ -63,6 +63,10 @@ inline std::vector<lincheck::Operation> record_history(harness::Deployment& d,
       history[idx].response = d.engine().now();
       history[idx].code = code;
       history[idx].reply = reply;
+      // Don't schedule a deferred kick once this client is out of ops: the
+      // timer would capture `kick` by reference and could outlive this frame,
+      // firing as use-after-scope if the caller runs the engine afterwards.
+      if (remaining[ci] == 0) return;
       if (think > 0) {
         const Duration pause =
             1 + static_cast<Duration>(rng.below(static_cast<std::uint64_t>(think)));

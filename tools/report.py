@@ -5,7 +5,7 @@ Usage:
     tools/report.py BENCH_<experiment>.json [-o REPORT_<experiment>.html]
                     [--run LABEL]
 
-Input is a `dssmr.run_record.v4` file produced by any fig_* bench with
+Input is a `dssmr.run_record.v5` (or older) file produced by any fig_* bench with
 --json; runs that also passed --telemetry carry a `telemetry` section and get
 the full dashboard (gauge sparklines, per-partition heat strips, windowed
 latency percentiles, fault-window shading from timeline marks). Runs without

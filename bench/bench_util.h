@@ -52,6 +52,18 @@ namespace dssmr::bench {
 ///                          (default 100)
 ///   --pipeline-depth N     allow N in-flight Paxos proposals per leader
 ///                          (default 0 = unbounded single-flush behavior)
+///   --prefetch-k N         prophecy prefetch: oracle replies carry up to N
+///                          co-accessed neighbour locations (default 0 = off,
+///                          byte-identical to the pre-locality code); benches
+///                          forward prefetch_k() into their run configs
+///   --cache-repair         piggyback ⟨var, partition, epoch⟩ repair entries
+///                          on replies; clients heal stale caches and
+///                          re-route retries without re-consulting
+///   --coalesce-moves N     merge concurrent moves with overlapping
+///                          destination sets into one bulk multicast, flushed
+///                          at N buffered moves (default 0 = off)
+///   --coalesce-delay-us N  max virtual-time wait before a coalesced flush
+///                          (default 200)
 class RunRecordSink {
  public:
   RunRecordSink(int argc, char** argv, std::string experiment)
@@ -113,6 +125,35 @@ class RunRecordSink {
         } else {
           pipeline_depth_ = static_cast<std::size_t>(n);
         }
+      } else if (std::strcmp(argv[i], "--prefetch-k") == 0) {
+        const std::string v = next_or("");
+        const long long n = v.empty() ? -1 : std::atoll(v.c_str());
+        if (n < 0) {
+          std::fprintf(stderr, "--prefetch-k needs a non-negative count\n");
+          bad_args_ = true;
+        } else {
+          prefetch_k_ = static_cast<std::size_t>(n);
+        }
+      } else if (std::strcmp(argv[i], "--cache-repair") == 0) {
+        cache_repair_ = true;
+      } else if (std::strcmp(argv[i], "--coalesce-moves") == 0) {
+        const std::string v = next_or("");
+        const long long n = v.empty() ? -1 : std::atoll(v.c_str());
+        if (n < 0) {
+          std::fprintf(stderr, "--coalesce-moves needs a non-negative count\n");
+          bad_args_ = true;
+        } else {
+          coalesce_moves_ = static_cast<std::size_t>(n);
+        }
+      } else if (std::strcmp(argv[i], "--coalesce-delay-us") == 0) {
+        const std::string v = next_or("");
+        const long long us = v.empty() ? 0 : std::atoll(v.c_str());
+        if (us <= 0) {
+          std::fprintf(stderr, "--coalesce-delay-us needs a positive microsecond count\n");
+          bad_args_ = true;
+        } else {
+          coalesce_delay_ = static_cast<Duration>(us);
+        }
       } else if (std::strcmp(argv[i], "--nemesis") == 0) {
         nemesis_ = next_or("");
         if (nemesis_.empty()) {
@@ -132,7 +173,9 @@ class RunRecordSink {
                      "unknown flag %s (supported: --json [path], --jobs N, "
                      "--trace [path], --trace-chrome [path], --nemesis <plan>, "
                      "--telemetry, --telemetry-interval <us>, --batch-size <n>, "
-                     "--batch-delay-us <us>, --pipeline-depth <n>)\n",
+                     "--batch-delay-us <us>, --pipeline-depth <n>, "
+                     "--prefetch-k <n>, --cache-repair, --coalesce-moves <n>, "
+                     "--coalesce-delay-us <us>)\n",
                      argv[i]);
         bad_args_ = true;
       }
@@ -166,6 +209,24 @@ class RunRecordSink {
   std::size_t batch_size() const { return batch_size_; }
   Duration batch_delay() const { return batch_delay_; }
   std::size_t pipeline_depth() const { return pipeline_depth_; }
+  /// Benches forward these into ChirperRunConfig::{prefetch_k, cache_repair,
+  /// coalesce_moves, coalesce_delay}; the defaults keep every bench
+  /// byte-identical to the pre-locality output.
+  std::size_t prefetch_k() const { return prefetch_k_; }
+  bool cache_repair() const { return cache_repair_; }
+  std::size_t coalesce_moves() const { return coalesce_moves_; }
+  Duration coalesce_delay() const { return coalesce_delay_; }
+
+  /// Stamps the locality flags into a hand-built run record, matching the
+  /// meta that make_run_record emits for chirper runs. No-op (and therefore
+  /// byte-preserving) when the whole fast path is off.
+  void add_locality_meta(stats::RunRecord& rec) const {
+    if (prefetch_k_ == 0 && !cache_repair_ && coalesce_moves_ == 0) return;
+    rec.add_meta("prefetch_k", std::to_string(prefetch_k_));
+    rec.add_meta("cache_repair", cache_repair_ ? "true" : "false");
+    rec.add_meta("coalesce_moves", std::to_string(coalesce_moves_));
+    rec.add_meta("coalesce_delay_us", std::to_string(coalesce_delay_));
+  }
 
   void add(stats::RunRecord record) { records_.push_back(std::move(record)); }
 
@@ -225,6 +286,10 @@ class RunRecordSink {
   std::size_t batch_size_ = 0;
   Duration batch_delay_ = usec(100);
   std::size_t pipeline_depth_ = 0;
+  std::size_t prefetch_k_ = 0;
+  bool cache_repair_ = false;
+  std::size_t coalesce_moves_ = 0;
+  Duration coalesce_delay_ = usec(200);
   std::size_t jobs_ = 1;
   bool bad_args_ = false;
   std::vector<stats::RunRecord> records_;

@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
     cfg.batch_size = sink.batch_size();
     cfg.batch_delay = sink.batch_delay();
     cfg.pipeline_depth = sink.pipeline_depth();
+    cfg.prefetch_k = sink.prefetch_k();
+    cfg.cache_repair = sink.cache_repair();
+    cfg.coalesce_moves = sink.coalesce_moves();
+    cfg.coalesce_delay = sink.coalesce_delay();
     points.push_back({cfg, c.label});
   }
   const auto results = run_points(sink, points);

@@ -108,6 +108,10 @@ int main(int argc, char** argv) {
     dep.batch_size = sink.batch_size();
     dep.batch_delay = sink.batch_delay();
     dep.pipeline_depth = sink.pipeline_depth();
+    dep.prefetch_k = sink.prefetch_k();
+    dep.cache_repair = sink.cache_repair();
+    dep.coalesce_moves = sink.coalesce_moves();
+    dep.coalesce_delay = sink.coalesce_delay();
 
     harness::PolicyFactory policy;
     if (dynastar) {
@@ -152,6 +156,7 @@ int main(int argc, char** argv) {
     out.rec.add_meta("seed", std::to_string(dep.seed));
     out.rec.add_meta("repartitionings", std::to_string(out.repartitionings));
     out.rec.add_meta("nemesis", sink.nemesis().empty() ? "none" : sink.nemesis());
+    sink.add_locality_meta(out.rec);
     return out;
   });
 

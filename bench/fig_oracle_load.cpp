@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
     cfg.batch_size = sink.batch_size();
     cfg.batch_delay = sink.batch_delay();
     cfg.pipeline_depth = sink.pipeline_depth();
+    cfg.prefetch_k = sink.prefetch_k();
+    cfg.cache_repair = sink.cache_repair();
+    cfg.coalesce_moves = sink.coalesce_moves();
+    cfg.coalesce_delay = sink.coalesce_delay();
     points.push_back({cfg, cache ? "cache-on" : "cache-off"});
   }
   {
@@ -62,6 +66,10 @@ int main(int argc, char** argv) {
     cfg.batch_size = sink.batch_size();
     cfg.batch_delay = sink.batch_delay();
     cfg.pipeline_depth = sink.pipeline_depth();
+    cfg.prefetch_k = sink.prefetch_k();
+    cfg.cache_repair = sink.cache_repair();
+    cfg.coalesce_moves = sink.coalesce_moves();
+    cfg.coalesce_delay = sink.coalesce_delay();
     points.push_back({cfg, "busy-over-time"});
   }
   for (std::size_t parts : {2u, 4u, 8u}) {
@@ -75,6 +83,10 @@ int main(int argc, char** argv) {
     cfg.batch_size = sink.batch_size();
     cfg.batch_delay = sink.batch_delay();
     cfg.pipeline_depth = sink.pipeline_depth();
+    cfg.prefetch_k = sink.prefetch_k();
+    cfg.cache_repair = sink.cache_repair();
+    cfg.coalesce_moves = sink.coalesce_moves();
+    cfg.coalesce_delay = sink.coalesce_delay();
     points.push_back({cfg, "parts-" + std::to_string(parts)});
   }
   const auto results = run_points(sink, points);

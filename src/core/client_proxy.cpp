@@ -51,12 +51,22 @@ void ClientProxy::init_client(net::Network& network, const multicast::Directory&
   auto handle = [this](const char* name) {
     return metrics_ != nullptr ? &metrics_->counter_handle(name) : &dummy_counter();
   };
+  // Locality counters are interned only when their feature flag is on:
+  // default-off runs must not materialize `locality.*` names (the run record
+  // would grow a section and break byte-identity with pre-locality builds).
+  auto gated = [&handle](bool on, const char* name) {
+    return on ? handle(name) : &dummy_counter();
+  };
   ctr_ = {handle("client.ops"),       handle("client.consults"),
           handle("client.cache_hits"), handle("client.multi_partition"),
           handle("client.moves"),     handle("client.retries"),
           handle("client.fallbacks"), handle("client.timeouts"),
           handle("client.hints"),     handle("client.ok"),
-          handle("client.nok")};
+          handle("client.nok"),
+          gated(cfg_.prefetch, "locality.prefetch_installed"),
+          gated(cfg_.prefetch, "locality.prefetch_hits"),
+          gated(cfg_.cache_repair, "locality.repairs"),
+          gated(cfg_.cache_repair, "locality.repair_reroutes")};
   if (metrics_ != nullptr) {
     latency_hist_ = &metrics_->histogram("client.latency_us");
     completions_series_ = &metrics_->series("client.completions");
@@ -132,6 +142,63 @@ std::optional<GroupId> ClientProxy::cached_location(VarId v) const {
   return it->second;
 }
 
+std::uint64_t ClientProxy::cached_epoch(VarId v) const {
+  auto it = cache_meta_.find(v);
+  return it != cache_meta_.end() ? it->second.epoch : 0;
+}
+
+void ClientProxy::apply_repair(const std::vector<smr::RepairEntry>& repair) {
+  for (const smr::RepairEntry& e : repair) {
+    if (e.loc == kNoGroup) continue;
+    VarMeta& meta = cache_meta_[e.var];
+    // Strictly newer only: an equal-epoch entry adds nothing, and an older
+    // one (late duplicate, or a forged-stale test message) must never roll
+    // the cache back to a superseded owner.
+    if (e.epoch <= meta.epoch) continue;
+    meta.epoch = e.epoch;
+    meta.prefetched = false;
+    cache_[e.var] = e.loc;
+    ctr_.repairs->inc();
+    trace(TraceEvent::kCacheRepair, e.var.value, static_cast<std::int64_t>(e.loc.value));
+  }
+}
+
+void ClientProxy::install_prefetch(const ProphecyMsg& p) {
+  for (const smr::RepairEntry& e : p.prefetch) {
+    if (e.loc == kNoGroup) continue;
+    VarMeta& meta = cache_meta_[e.var];
+    if (e.epoch < meta.epoch) continue;  // a repair already taught us better
+    meta.epoch = std::max(meta.epoch, e.epoch);
+    meta.prefetched = true;
+    cache_[e.var] = e.loc;
+    ctr_.prefetch_installed->inc();
+  }
+}
+
+bool ClientProxy::try_repair_reroute() {
+  GroupId p = kNoGroup;
+  for (VarId v : cmd_.vars()) {
+    auto it = cache_.find(v);
+    if (it == cache_.end() || (p != kNoGroup && it->second != p)) return false;
+    p = it->second;
+  }
+  if (p == kNoGroup) return false;
+  ctr_.repair_reroutes->inc();
+  trace(TraceEvent::kRepairReroute, cmd_.id.value, static_cast<std::int64_t>(p.value));
+  stats::SpanStore* sp = spans();
+  if (sp != nullptr && sp->enabled() && root_span_ != 0) {
+    // Marker span (fold=false): the retry window it annotates was already
+    // decomposed into amcast/queue/execute/reply by decompose_reply.
+    const Time now = network().engine().now();
+    sp->record({.trace_id = cmd_.trace_id, .parent = root_span_,
+                .phase = SpanPhase::kRepair, .start = now, .end = now,
+                .node = pid().value, .group = p, .arg = retries_},
+               /*fold=*/false);
+  }
+  send_command({p}, Phase::kAwaitCommand);
+  return true;
+}
+
 void ClientProxy::issue(Command cmd, DoneFn done) {
   DSSMR_ASSERT_MSG(phase_ == Phase::kIdle, "one outstanding command per client proxy");
   cmd_ = std::move(cmd);
@@ -178,6 +245,30 @@ void ClientProxy::start_attempt() {
     }
     if (usable && p != kNoGroup) {
       ctr_.cache_hits->inc();
+      if (cfg_.prefetch) {
+        // A hit counts as a prefetch hit when any of its entries got there
+        // via a prophecy prefetch; clear the flags so each prefetched entry
+        // is credited at most once.
+        bool from_prefetch = false;
+        for (VarId v : cmd_.vars()) {
+          auto mit = cache_meta_.find(v);
+          if (mit != cache_meta_.end() && mit->second.prefetched) {
+            from_prefetch = true;
+            mit->second.prefetched = false;
+          }
+        }
+        if (from_prefetch) {
+          ctr_.prefetch_hits->inc();
+          stats::SpanStore* sp = spans();
+          if (sp != nullptr && sp->enabled() && root_span_ != 0) {
+            const Time now = network().engine().now();
+            sp->record({.trace_id = cmd_.trace_id, .parent = root_span_,
+                        .phase = SpanPhase::kPrefetch, .start = now, .end = now,
+                        .node = pid().value, .group = p},
+                       /*fold=*/false);
+          }
+        }
+      }
       send_command({p}, Phase::kAwaitCommand);
       return;
     }
@@ -195,10 +286,18 @@ void ClientProxy::do_consult() {
     record_phase(SpanPhase::kMove, move_start_, pending_dest_, /*arg=*/-1);
     move_start_ = 0;
   }
-  if (phase_ != Phase::kConsult) consult_start_ = now;  // retransmissions keep the window
+  if (phase_ != Phase::kConsult) {
+    consult_start_ = now;  // retransmissions keep the window
+    // New attempt: answers to the previous attempt's consults are superseded
+    // (the cache was invalidated since) — purge their ids.
+    outstanding_consults_.clear();
+  }
   const MsgId id = fresh_id();
   trace(TraceEvent::kConsult, id.value, static_cast<std::int64_t>(cmd_.id.value));
-  outstanding_consults_.insert(id.value);
+  if (outstanding_consults_.size() >= kMaxOutstandingConsults) {
+    outstanding_consults_.erase(outstanding_consults_.begin());  // drop the oldest
+  }
+  outstanding_consults_.push_back(id.value);
   phase_ = Phase::kConsult;
   amcast_with_id(id, {cfg_.oracle_group}, net::make_msg<ConsultMsg>(id, cmd_));
   // Consult retransmissions use entirely fresh ids: consults are read-only,
@@ -208,7 +307,9 @@ void ClientProxy::do_consult() {
 }
 
 void ClientProxy::on_prophecy(const ProphecyMsg& p) {
-  if (phase_ != Phase::kConsult || !outstanding_consults_.contains(p.consult_id.value)) {
+  if (phase_ != Phase::kConsult ||
+      std::find(outstanding_consults_.begin(), outstanding_consults_.end(),
+                p.consult_id.value) == outstanding_consults_.end()) {
     return;  // stale (a previous command's or an already-answered attempt's)
   }
   outstanding_consults_.clear();
@@ -233,12 +334,21 @@ void ClientProxy::on_prophecy(const ProphecyMsg& p) {
     return;
   }
 
-  // Access: refresh cache, then route.
+  // Access: refresh cache, then route. The prophecy is the oracle's current
+  // mapping, so it installs unconditionally; with cache repair on it also
+  // carries per-variable epochs that advance the monotone sidecar.
   std::vector<GroupId> dests;
-  for (const auto& [v, loc] : p.locations) {
+  for (std::size_t i = 0; i < p.locations.size(); ++i) {
+    const auto& [v, loc] = p.locations[i];
     cache_[v] = loc;
+    if (cfg_.cache_repair && i < p.epochs.size()) {
+      VarMeta& meta = cache_meta_[v];
+      meta.epoch = std::max(meta.epoch, p.epochs[i]);
+      meta.prefetched = false;
+    }
     if (std::find(dests.begin(), dests.end(), loc) == dests.end()) dests.push_back(loc);
   }
+  if (cfg_.prefetch && !p.prefetch.empty()) install_prefetch(p);
   DSSMR_ASSERT(!dests.empty());
 
   if (dests.size() == 1) {
@@ -278,6 +388,9 @@ void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sour
   move.write_set = cmd_.vars();
   move.move_sources = sources;
   move.move_dest = dest;
+  // Through the coalescer relay the multicast sender is the relay, not us —
+  // stamp the requester so partitions and the oracle answer this client.
+  if (cfg_.move_coalescer != kNoProcess) move.requester = pid();
 
   std::vector<GroupId> dests = sources;
   dests.push_back(dest);
@@ -287,6 +400,19 @@ void ClientProxy::send_dssmr_move(GroupId dest, const std::vector<GroupId>& sour
   phase_ = Phase::kAwaitMove;
   move_start_ = network().engine().now();
   auto payload = net::make_msg<CommandMsg>(std::move(move));
+  if (cfg_.move_coalescer != kNoProcess) {
+    // Locality fast path: hand the move to the coalescer relay, which merges
+    // overlapping moves into one bulk multicast (one Skeen exchange). The
+    // destination partition still answers this client directly, and resends
+    // go through the relay again — partitions dedup by the stable move id.
+    network().send(pid(), cfg_.move_coalescer, payload);
+    resend_ = [this, payload] {
+      network().send(pid(), cfg_.move_coalescer, payload);
+      arm_timeout();
+    };
+    arm_timeout();
+    return;
+  }
   amcast_with_id(fresh_id(), dests, payload);
   resend_ = [this, dests, payload] {
     // Same logical move (same cmd id inside), fresh multicast id.
@@ -354,6 +480,9 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
       } else if (r->code == ReplyCode::kOk) {
         for (VarId v : cmd_.vars()) cache_[v] = pending_dest_;
       }
+      // The destination's repair entries carry the post-move epochs; applied
+      // after the install loop so the epoch sidecar catches up with the cache.
+      if (cfg_.cache_repair && !r->repair.empty()) apply_repair(r->repair);
       if (r->code == ReplyCode::kOk) {
         send_command({pending_dest_}, Phase::kAwaitCommand);
       } else {
@@ -381,12 +510,20 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
         for (VarId v : cmd_.vars()) cache_.erase(v);
         ++retries_;
         trace(TraceEvent::kRetry, cmd_.id.value, retries_);
+        // Piggybacked repair: install the reply's ⟨var, partition, epoch⟩
+        // entries (monotone) and, if they pin every variable to one
+        // partition, go straight there — the common stale-cache retry then
+        // costs one extra hop instead of a full oracle consult.
+        if (cfg_.cache_repair && !r->repair.empty()) apply_repair(r->repair);
         if (retries_ > cfg_.max_retries) {
           do_fallback();
+        } else if (cfg_.cache_repair && try_repair_reroute()) {
+          // re-sent directly from the repaired cache
         } else {
           do_consult();
         }
       } else {
+        if (cfg_.cache_repair && !r->repair.empty()) apply_repair(r->repair);
         decompose_reply(*r);
         finish(r->code, r->app_reply);
       }

@@ -31,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "core/mapping.h"
 #include "multicast/client.h"
@@ -58,6 +59,17 @@ struct ClientConfig {
   std::shared_ptr<const StaticMap> static_map;
   /// Send workload-graph hints to the oracle after commands that carry them.
   bool send_hints = false;
+  /// Locality fast path (all off by default; see OracleConfig for the oracle
+  /// halves). `prefetch` installs the prophecy's piggybacked co-access
+  /// neighbours into the location cache; `cache_repair` consumes the
+  /// ⟨var, partition, epoch⟩ repair entries on replies (monotone install) and
+  /// lets a `retry` re-route directly from the repaired cache instead of
+  /// restarting at the oracle.
+  bool prefetch = false;
+  bool cache_repair = false;
+  /// When set, DS-SMR moves are routed through this move-coalescer relay
+  /// (see core/move_coalescer.h) instead of being multicast directly.
+  ProcessId move_coalescer = kNoProcess;
 };
 
 class ClientProxy : public multicast::ClientNode {
@@ -78,6 +90,15 @@ class ClientProxy : public multicast::ClientNode {
   /// Cached-entry count (telemetry gauge).
   std::size_t cache_size() const { return cache_.size(); }
   const ClientConfig& config() const { return cfg_; }
+
+  /// Installs piggybacked repair entries into the location cache. Monotone:
+  /// an entry only lands when its epoch is strictly newer than what the cache
+  /// already knows for that variable, so a stale (or forged-stale) repair can
+  /// never roll a fresher mapping back. Public for tests.
+  void apply_repair(const std::vector<smr::RepairEntry>& repair);
+  /// The newest epoch the cache has seen for `v` (0 = never). Survives
+  /// cache_.erase on retry, so re-installs stay monotone. Public for tests.
+  std::uint64_t cached_epoch(VarId v) const;
 
  protected:
   void on_reply(ProcessId from, const net::MessagePtr& m) override;
@@ -128,6 +149,13 @@ class ClientProxy : public multicast::ClientNode {
     stats::Counter* hints;
     stats::Counter* ok;
     stats::Counter* nok;
+    /// Locality fast path (interned only when the matching flag is on, so
+    /// default-off runs never materialize `locality.*` counters and their
+    /// run records stay byte-identical).
+    stats::Counter* prefetch_installed;
+    stats::Counter* prefetch_hits;
+    stats::Counter* repairs;
+    stats::Counter* repair_reroutes;
   } ctr_{};
 
   /// Interned histogram/series handles, same rationale as ctr_: finish() and
@@ -142,11 +170,15 @@ class ClientProxy : public multicast::ClientNode {
   DoneFn done_;
   int retries_ = 0;
   Time issued_at_ = 0;
-  /// All consult ids issued for the current attempt: retransmissions use
-  /// fresh ids (see do_consult), and with timeouts shorter than the round
-  /// trip the answer to an *older* consult may arrive first — it is equally
-  /// valid, so any of them is accepted.
-  std::unordered_set<std::uint64_t> outstanding_consults_;
+  /// Consult ids issued for the current attempt: retransmissions use fresh
+  /// ids (see do_consult), and with timeouts shorter than the round trip the
+  /// answer to an *older* consult may arrive first — it is equally valid, so
+  /// any of them is accepted. Bounded: a new attempt purges the previous
+  /// attempt's ids, and within one attempt only the newest
+  /// kMaxOutstandingConsults survive (older answers are stale enough that
+  /// re-asking beats accepting them).
+  static constexpr std::size_t kMaxOutstandingConsults = 8;
+  std::vector<std::uint64_t> outstanding_consults_;
   MsgId awaited_reply_{0};
   GroupId pending_dest_ = kNoGroup;
   std::function<void()> resend_;
@@ -167,6 +199,22 @@ class ClientProxy : public multicast::ClientNode {
   /// Location cache (Section "Performance optimizations"): consulted on
   /// every access command, so it shares the oracle's open-addressing map.
   LocationMap cache_;
+  /// Locality-fast-path sidecar for cache_: the newest epoch seen per
+  /// variable (guards repair/prefetch installs against regression) plus
+  /// whether the current cached entry came from a prophecy prefetch (counted
+  /// once as a hit when the fast path uses it). Deliberately survives
+  /// cache_.erase so monotonicity holds across retries.
+  struct VarMeta {
+    std::uint64_t epoch = 0;
+    bool prefetched = false;
+  };
+  common::FlatMap<VarId, VarMeta> cache_meta_;
+
+  void install_prefetch(const smr::ProphecyMsg& p);
+  /// After a repaired retry: if every variable now resolves to one cached
+  /// partition, re-send there directly (no oracle consult). Returns false
+  /// when the repair did not pin all variables to a single destination.
+  bool try_repair_reroute();
 };
 
 }  // namespace dssmr::core

@@ -2,6 +2,8 @@
 // policy (the paper's OracleStateMachine extension point).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -47,6 +49,7 @@ class Mapping {
       map_.emplace(v, p);
     }
     counts_[index_of(p)]++;
+    ++epochs_[v];
   }
 
   void erase(VarId v) {
@@ -54,6 +57,15 @@ class Mapping {
     if (it == map_.end()) return;
     counts_[index_of(it->second)]--;
     map_.erase(it);
+  }
+
+  /// Monotone placement epoch of `v`: bumped on every place(), surviving
+  /// erase() so a delete/recreate can never look older than what preceded it.
+  /// 0 means "never placed". Piggybacked-cache-repair entries compare these
+  /// to decide whether an update is fresher than what a client already holds.
+  std::uint64_t epoch_of(VarId v) const {
+    auto it = epochs_.find(v);
+    return it == epochs_.end() ? 0 : it->second;
   }
 
   std::size_t var_count() const { return map_.size(); }
@@ -84,6 +96,7 @@ class Mapping {
   std::vector<GroupId> partitions_;
   std::vector<std::uint64_t> counts_;
   LocationMap map_;
+  common::FlatMap<VarId, std::uint64_t> epochs_;
 };
 
 /// Placement decisions. Implementations MUST be deterministic functions of
@@ -114,6 +127,86 @@ class OraclePolicy {
   /// stateless policies). Sampled as telemetry gauges.
   virtual std::size_t workload_graph_vertices() const { return 0; }
   virtual std::size_t workload_graph_edges() const { return 0; }
+
+  /// Prophecy prefetch (the locality fast path, see DESIGN.md): records that
+  /// `vars` were accessed by one command. Called by the oracle while
+  /// processing a delivered consult, on every replica identically — the
+  /// co-access state stays a deterministic function of the delivered command
+  /// sequence. The base class keeps a cheap bounded recent-co-access table;
+  /// policies with a real workload graph (DynaStar) override
+  /// prefetch_candidates() instead and may ignore this.
+  virtual void note_co_access(const std::vector<VarId>& vars) {
+    if (vars.size() < 2) return;
+    const std::size_t n = std::min<std::size_t>(vars.size(), kCoAccessFeedCap);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) co_access_[vars[i]].push(vars[j]);
+      }
+    }
+  }
+
+  /// Appends up to `k` variables recently co-accessed with `vars` (excluding
+  /// `vars` themselves, no duplicates) to `out`. Breadth-first over the
+  /// co-access rings: direct neighbours first, then neighbours-of-neighbours
+  /// while budget remains — one hot command's ring members mostly repeat what
+  /// the client already caches, so the transitive frontier is where the
+  /// novel (cache-warming) candidates live. Deterministic.
+  virtual void prefetch_candidates(const std::vector<VarId>& vars, std::size_t k,
+                                   std::vector<VarId>& out) {
+    const auto wanted = [&](VarId c) {
+      return std::find(vars.begin(), vars.end(), c) == vars.end() &&
+             std::find(out.begin(), out.end(), c) == out.end();
+    };
+    const std::size_t base = out.size();
+    const std::size_t n = std::min<std::size_t>(vars.size(), kCoAccessFeedCap);
+    for (std::size_t i = 0; i < n && out.size() - base < k; ++i) {
+      auto it = co_access_.find(vars[i]);
+      if (it == co_access_.end()) continue;
+      const CoRing& ring = it->second;
+      for (std::size_t s = 0; s < ring.count && out.size() - base < k; ++s) {
+        const VarId c = ring.recent[s];
+        if (wanted(c)) out.push_back(c);
+      }
+    }
+    // Second hop: expand from the appended candidates themselves (out acts
+    // as the BFS queue; entries appended here extend the frontier further,
+    // still bounded by k).
+    for (std::size_t f = base; f < out.size() && out.size() - base < k; ++f) {
+      auto it = co_access_.find(out[f]);
+      if (it == co_access_.end()) continue;
+      const CoRing& ring = it->second;
+      for (std::size_t s = 0; s < ring.count && out.size() - base < k; ++s) {
+        const VarId c = ring.recent[s];
+        if (wanted(c)) out.push_back(c);
+      }
+    }
+  }
+
+ private:
+  /// Per-variable ring of the most recently co-accessed neighbours. Tiny and
+  /// bounded: the table is a best-effort cache-warming signal, not a workload
+  /// graph.
+  struct CoRing {
+    std::array<VarId, 8> recent{};
+    std::uint8_t count = 0;
+    std::uint8_t next = 0;
+
+    void push(VarId v) {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (recent[i] == v) return;  // already tracked; keep ring stable
+      }
+      recent[next] = v;
+      next = static_cast<std::uint8_t>((next + 1) % recent.size());
+      count = static_cast<std::uint8_t>(std::min<std::size_t>(count + 1, recent.size()));
+    }
+  };
+
+  /// Only the first few variables of a wide command feed/probe the table:
+  /// co-access is quadratic in the fed prefix and wide commands (move bulks,
+  /// timeline fan-ins) would swamp it.
+  static constexpr std::size_t kCoAccessFeedCap = 8;
+
+  common::FlatMap<VarId, CoRing> co_access_;
 };
 
 /// The DS-SMR (DSN 2016) policy: no global workload knowledge. New variables

@@ -1,0 +1,106 @@
+#include "core/move_coalescer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "multicast/messages.h"
+
+namespace dssmr::core {
+
+using smr::BulkMoveMsg;
+using smr::Command;
+using smr::CommandMsg;
+using smr::CommandType;
+
+namespace {
+
+/// thread_local: simulations on different sweep threads may share it.
+stats::Counter& dummy_counter() {
+  thread_local stats::Counter c;
+  return c;
+}
+
+}  // namespace
+
+void MoveCoalescer::init_coalescer(net::Network& network,
+                                   const multicast::Directory& directory,
+                                   MoveCoalescerConfig config, stats::Metrics* metrics) {
+  init_client_node(network, directory);
+  config_ = config;
+  metrics_ = metrics;
+  DSSMR_ASSERT(config_.oracle_group != kNoGroup);
+  DSSMR_ASSERT(config_.coalesce_moves > 0);
+  auto handle = [this](const char* name) {
+    return metrics_ != nullptr ? &metrics_->counter_handle(name) : &dummy_counter();
+  };
+  ctr_ = {handle("locality.coalesced_moves"), handle("locality.bulk_flushes")};
+}
+
+std::vector<GroupId> MoveCoalescer::dests_of(const Command& move) const {
+  std::vector<GroupId> dests = move.move_sources;
+  dests.push_back(move.move_dest);
+  dests.push_back(config_.oracle_group);
+  multicast::normalize_dests(dests);
+  return dests;
+}
+
+void MoveCoalescer::on_reply(ProcessId from, const net::MessagePtr& m) {
+  (void)from;
+  const auto* cm = net::msg_cast<CommandMsg>(m);
+  if (cm == nullptr || cm->cmd.type != CommandType::kMove) return;
+  // A client retransmission of a still-buffered move adds nothing (the same
+  // logical move would be multicast twice in one bulk); already-flushed
+  // duplicates are re-sent and dedup at the partitions by their stable id.
+  for (const Command& p : pending_) {
+    if (p.id == cm->cmd.id) return;
+  }
+  pending_.push_back(cm->cmd);
+  if (pending_.size() >= config_.coalesce_moves) {
+    flush();
+    return;
+  }
+  if (!flush_armed_) {
+    flush_armed_ = true;
+    network().engine().schedule(config_.coalesce_delay, [this] {
+      flush_armed_ = false;
+      flush();
+    });
+  }
+}
+
+void MoveCoalescer::flush() {
+  if (pending_.empty()) return;
+  std::vector<Command> pending = std::move(pending_);
+  pending_.clear();
+  std::vector<std::vector<GroupId>> dest_sets;
+  dest_sets.reserve(pending.size());
+  for (const Command& p : pending) dest_sets.push_back(dests_of(p));
+  const std::vector<std::size_t> cluster = multicast::cluster_by_dest_overlap(dest_sets);
+  const std::size_t clusters =
+      cluster.empty() ? 0 : 1 + *std::max_element(cluster.begin(), cluster.end());
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::vector<Command> moves;
+    std::vector<GroupId> union_dests;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (cluster[i] != c) continue;
+      moves.push_back(std::move(pending[i]));
+      union_dests.insert(union_dests.end(), dest_sets[i].begin(), dest_sets[i].end());
+    }
+    multicast::normalize_dests(union_dests);
+    if (moves.size() == 1) {
+      // A lone move ships exactly like the uncoalesced path.
+      amcast(std::move(union_dests), net::make_msg<CommandMsg>(std::move(moves.front())));
+      continue;
+    }
+    ctr_.coalesced_moves->inc(moves.size());
+    ctr_.bulk_flushes->inc();
+    if (metrics_ != nullptr) {
+      metrics_->histogram("locality.bulk_entries")
+          .record(static_cast<std::int64_t>(moves.size()));
+    }
+    amcast(std::move(union_dests), net::make_msg<BulkMoveMsg>(std::move(moves)));
+  }
+}
+
+}  // namespace dssmr::core

@@ -1,0 +1,66 @@
+// Move-coalescing relay (locality fast path; see DESIGN.md).
+//
+// DS-SMR clients issue one move multicast per collocation, each paying a full
+// Skeen exchange across {oracle} ∪ sources ∪ {destination}. Under weak
+// locality many such moves are in flight at once with overlapping destination
+// sets; this relay buffers client-issued moves briefly and merges every
+// overlapping cluster into a single BulkMoveMsg multicast to the union of the
+// cluster's destinations — one Skeen exchange carrying many moves. Clusters
+// of one ship as a plain CommandMsg, byte-identical to the direct path.
+//
+// The relay is a pure router: destination partitions still answer the issuing
+// client directly, clients still drive timeouts/resends (a resent move is
+// re-buffered and re-multicast; partitions dedup by the stable move id), and
+// the oracle — part of every move's destination set — observes exactly the
+// same move commands it would have seen unbatched. Losing the relay therefore
+// loses only in-flight buffered moves, which the client timeout recovers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "multicast/client.h"
+#include "smr/command.h"
+#include "stats/metrics.h"
+
+namespace dssmr::core {
+
+struct MoveCoalescerConfig {
+  /// Oracle group (member of every move's destination set).
+  GroupId oracle_group = kNoGroup;
+  /// Flush as soon as this many moves are buffered.
+  std::size_t coalesce_moves = 4;
+  /// Flush at the latest this long after the first buffered move.
+  Duration coalesce_delay = usec(200);
+};
+
+class MoveCoalescer : public multicast::ClientNode {
+ public:
+  void init_coalescer(net::Network& network, const multicast::Directory& directory,
+                      MoveCoalescerConfig config, stats::Metrics* metrics);
+
+  std::size_t pending() const { return pending_.size(); }
+  /// Clusters the buffered moves by destination-set overlap and multicasts
+  /// each cluster (public so tests can force a flush deterministically).
+  void flush();
+
+ protected:
+  /// Clients hand their move CommandMsgs to the relay as direct messages.
+  void on_reply(ProcessId from, const net::MessagePtr& m) override;
+
+ private:
+  std::vector<GroupId> dests_of(const smr::Command& move) const;
+
+  MoveCoalescerConfig config_;
+  stats::Metrics* metrics_ = nullptr;
+  std::vector<smr::Command> pending_;
+  bool flush_armed_ = false;
+
+  struct Counters {
+    stats::Counter* coalesced_moves;
+    stats::Counter* bulk_flushes;
+  } ctr_{};
+};
+
+}  // namespace dssmr::core

@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bounded.h"
+#include "common/flat_map.h"
+#include "common/small_set.h"
 #include "common/types.h"
 #include "core/mapping.h"
 #include "multicast/atomic.h"
@@ -36,6 +36,19 @@ struct OracleConfig {
   Duration consult_service = usec(5);
   /// Simulated CPU cost of applying one command / hint batch.
   Duration command_service = usec(3);
+  /// Locality fast path (all off by default; see DESIGN.md):
+  /// prophecies carry up to this many co-accessed prefetch entries.
+  std::size_t prefetch_k = 0;
+  /// Prophecies (and server replies) carry mapping epochs for piggybacked
+  /// cache repair.
+  bool cache_repair = false;
+  /// DynaStar mode: buffer oracle-issued moves and merge overlapping
+  /// destination sets into one bulk multicast once this many are pending
+  /// (0 = ship each move immediately, byte-identical to the pre-locality
+  /// behavior).
+  std::size_t coalesce_moves = 0;
+  /// Max virtual-time wait before a partial move buffer flushes.
+  Duration coalesce_delay = usec(200);
 };
 
 /// Deterministic move-command id derived from the consult id, so the client
@@ -79,6 +92,11 @@ class OracleNode : public multicast::GroupNode {
   void handle_move(const smr::Command& cmd);
   void handle_hint(const smr::HintMsg& hint);
 
+  /// Move coalescing (leader only): buffers an oracle-issued move, flushing
+  /// by count or after coalesce_delay.
+  void buffer_move(smr::Command move, std::vector<GroupId> dests);
+  void flush_moves();
+
   void queue_reply_task(Duration service, std::function<void()> run);
   void bump(stats::Counter* c);
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
@@ -90,9 +108,20 @@ class OracleNode : public multicast::GroupNode {
   std::vector<GroupId> partitions_;
   OracleConfig config_;
   stats::Metrics* metrics_ = nullptr;
-  /// Signals received from partitions, per command.
-  std::unordered_map<MsgId, std::set<GroupId>> signals_;
+  /// Signals received from partitions, per command. Tiny per-command sets
+  /// (bounded by the partition count), probed on the execution hot path.
+  common::FlatMap<MsgId, common::SmallSet<GroupId>> signals_;
   BoundedMap<MsgId, CachedReply> completed_{1 << 15};
+
+  /// Pending oracle-issued moves awaiting coalescing (leader only; lost
+  /// buffers on a leader change are recovered by the clients' consult
+  /// timeout).
+  struct PendingMove {
+    smr::Command move;
+    std::vector<GroupId> dests;
+  };
+  std::vector<PendingMove> pending_moves_;
+  bool move_flush_armed_ = false;
 
   /// Interned counter handles (see ClientProxy::Counters): consults and hints
   /// arrive per command, so the by-name map lookup is a hot-path cost.
@@ -103,6 +132,9 @@ class OracleNode : public multicast::GroupNode {
     stats::Counter* moves_issued;
     stats::Counter* moves_applied;
     stats::Counter* hints;
+    stats::Counter* prefetch_sent;
+    stats::Counter* coalesced_moves;
+    stats::Counter* bulk_flushes;
   } ctr_{};
   /// Interned series handles; nullptr when no metrics sink is wired.
   stats::TimeSeries* busy_series_ = nullptr;

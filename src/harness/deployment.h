@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "core/client_proxy.h"
 #include "core/mapping.h"
+#include "core/move_coalescer.h"
 #include "core/oracle.h"
 #include "core/server_proxy.h"
 #include "multicast/batcher.h"
@@ -55,6 +56,22 @@ struct DeploymentConfig {
   /// Paxos pipeline window: in-flight proposals per leader (0 = unbounded,
   /// the original single-slot-per-flush behavior).
   std::size_t pipeline_depth = 0;
+
+  /// Locality fast path (all off by default; defaults keep the deployment —
+  /// process layout, wire bytes, run record — byte-identical to a build
+  /// without it). prefetch_k > 0 makes prophecies carry up to k co-accessed
+  /// neighbour locations that clients install into their caches.
+  std::size_t prefetch_k = 0;
+  /// Replies piggyback ⟨var, partition, epoch⟩ repair entries; clients heal
+  /// stale caches monotonically and re-route retries without re-consulting.
+  bool cache_repair = false;
+  /// Coalesce concurrent moves with overlapping destination sets into one
+  /// bulk multicast: > 0 enables it (flush threshold) both at the oracle
+  /// (DynaStar's oracle-issued moves) and via a client-tier relay (DS-SMR's
+  /// client-issued moves).
+  std::size_t coalesce_moves = 0;
+  /// Max wait from the first buffered move to the coalesced flush.
+  Duration coalesce_delay = usec(200);
 
   Duration metrics_bucket = sec(1);
   std::uint64_t seed = 1;
@@ -120,6 +137,8 @@ class Deployment {
   /// Client-tier batch relays (empty when batching is off).
   std::size_t relay_count() const { return relays_.size(); }
   multicast::BatchRelay& relay(std::size_t i) { return *relays_[i]; }
+  /// Move-coalescer relay (nullptr unless coalescing is on under kDssmr).
+  core::MoveCoalescer* move_coalescer() { return coalescer_.get(); }
 
   core::StaticMap& static_map() { return *static_map_; }
 
@@ -155,6 +174,9 @@ class Deployment {
   /// One per rack when batching is on; registered after the oracles so that
   /// batching-off deployments keep the exact seed process-id layout.
   std::vector<std::unique_ptr<multicast::BatchRelay>> relays_;
+  /// Registered after the batch relays, before the clients, and only when
+  /// coalescing is on — same layout-preservation rule as relays_.
+  std::unique_ptr<core::MoveCoalescer> coalescer_;
   std::vector<std::unique_ptr<core::ClientProxy>> clients_;
 };
 

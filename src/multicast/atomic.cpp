@@ -1,6 +1,7 @@
 #include "multicast/atomic.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/assert.h"
@@ -191,9 +192,10 @@ void GroupNode::init_group_node(net::Network& network, const Directory& director
   pcb.on_leadership = [this](bool leading) {
     if (leading) amcast_->on_gained_leadership();
   };
-  paxos_ = std::make_unique<consensus::PaxosCore>(network.engine(), gid,
-                                                  directory.members(gid), pid(),
-                                                  config.paxos, std::move(pcb), seed);
+  const std::span<const ProcessId> members = directory.members(gid);
+  paxos_ = std::make_unique<consensus::PaxosCore>(
+      network.engine(), gid, std::vector<ProcessId>(members.begin(), members.end()), pid(),
+      config.paxos, std::move(pcb), seed);
 
   AmcastCore::Callbacks acb;
   acb.deliver = [this](const AmcastMessage& m, Time stamped_at) {

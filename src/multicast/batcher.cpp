@@ -1,6 +1,7 @@
 #include "multicast/batcher.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/assert.h"
@@ -72,7 +73,7 @@ void SubmitBatcher::flush() {
   for (auto& [g, entries] : pending_) {
     total += entries.size();
     auto batch = net::make_msg<BatchSubmitMsg>(g, std::move(entries));
-    const std::vector<ProcessId>& members = directory_->members(g);
+    const std::span<const ProcessId> members = directory_->members(g);
     if (std::find(members.begin(), members.end(), self_) == members.end()) {
       network_->multisend(self_, members, batch);
     } else {

@@ -98,7 +98,7 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr m) {
   send_one(from, to, m, m->size_bytes());
 }
 
-void Network::multisend(ProcessId from, const std::vector<ProcessId>& dests,
+void Network::multisend(ProcessId from, std::span<const ProcessId> dests,
                         const MessagePtr& m) {
   DSSMR_ASSERT(m != nullptr);
   DSSMR_ASSERT(from.value < processes_.size());

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -81,7 +82,10 @@ class Network {
 
   /// Sends to every id in `dests` (duplicates allowed; all destinations
   /// share the same immutable payload — no per-destination copies).
-  void multisend(ProcessId from, const std::vector<ProcessId>& dests, const MessagePtr& m);
+  void multisend(ProcessId from, std::span<const ProcessId> dests, const MessagePtr& m);
+  void multisend(ProcessId from, const std::vector<ProcessId>& dests, const MessagePtr& m) {
+    multisend(from, std::span<const ProcessId>(dests), m);
+  }
 
   /// Marks a process crashed: all in-flight and future traffic involving it
   /// is dropped until recover().

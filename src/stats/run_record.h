@@ -1,4 +1,4 @@
-// Machine-readable per-run records (schema "dssmr.run_record.v5").
+// Machine-readable per-run records (schema "dssmr.run_record.v6").
 //
 // Every bench binary can serialize its runs to JSON so the repo's perf
 // trajectory is diffable: counters, histogram summaries (count/min/max/mean/
@@ -12,7 +12,11 @@
 // Recorder was enabled — v4's addition, see stats/recorder.h), a `batching`
 // section summarizing submission batching — flush counts by trigger, entry
 // totals and the flush-size histogram (present when a run carried `batch.*`
-// metrics — v5's addition, see multicast/batcher.h) — and free-form run
+// metrics — v5's addition, see multicast/batcher.h), a `locality` section
+// summarizing the locality fast path — prefetch installs/hits, cache
+// repairs, re-routes, coalesced moves and the bulk-move size histogram
+// (present when a run carried `locality.*` metrics — v6's addition, see
+// core/client_proxy.h and core/move_coalescer.h) — and free-form run
 // metadata (strategy, partitions, seed, ...). The format is documented in
 // EXPERIMENTS.md; CI asserts one of these files parses and carries a nonzero
 // client.ops.
@@ -28,7 +32,7 @@
 
 namespace dssmr::stats {
 
-inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v5";
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v6";
 
 struct RunRecord {
   std::string label;

@@ -16,6 +16,8 @@ std::string_view to_string(SpanPhase p) {
     case SpanPhase::kReply: return "reply";
     case SpanPhase::kFallback: return "fallback";
     case SpanPhase::kOracle: return "oracle";
+    case SpanPhase::kPrefetch: return "prefetch";
+    case SpanPhase::kRepair: return "repair";
     case SpanPhase::kPhaseCount_: break;  // not a real phase
   }
   return "unknown";

@@ -47,13 +47,15 @@ enum class SpanPhase : std::uint8_t {
   kReply,     // execution end -> reply received by the client
   kFallback,  // S-SMR fallback window (all-partition multicast -> reply)
   kOracle,    // oracle-side consult handling (server view, not a client phase)
+  kPrefetch,  // marker: the cache fast path was served from prefetched entries
+  kRepair,    // marker: a retry window ended in a piggybacked cache repair
   // Add new phases directly above and extend to_string(); see the TraceEvent
   // sentinel in trace.h for the pattern.
   kPhaseCount_,
 };
 
 inline constexpr std::size_t kSpanPhases = static_cast<std::size_t>(SpanPhase::kPhaseCount_);
-static_assert(kSpanPhases == static_cast<std::size_t>(SpanPhase::kOracle) + 1,
+static_assert(kSpanPhases == static_cast<std::size_t>(SpanPhase::kRepair) + 1,
               "SpanPhase changed: point this assert at the new last phase and add "
               "its to_string() case (stats_test checks exhaustiveness)");
 
@@ -65,7 +67,8 @@ std::string_view to_string(SpanPhase p);
 /// (kBatch appears only when submission batching is on — the batcher's flush
 /// time splits the post-send window; unbatched runs never record it.
 /// kFallback covers a window already decomposed into amcast/queue/execute/
-/// reply and kOracle is a server-side view; both are recorded fold=false.)
+/// reply, kOracle is a server-side view, and kPrefetch/kRepair are locality
+/// fast-path markers over already-attributed time; all are fold=false.)
 inline constexpr std::array<SpanPhase, 7> kLatencyPhases = {
     SpanPhase::kConsult, SpanPhase::kMove,    SpanPhase::kBatch,  SpanPhase::kAmcast,
     SpanPhase::kQueue,   SpanPhase::kExecute, SpanPhase::kReply,

@@ -19,6 +19,8 @@ std::string_view to_string(TraceEvent e) {
     case TraceEvent::kAmcastDeliver: return "amcast_deliver";
     case TraceEvent::kFaultInject: return "fault_inject";
     case TraceEvent::kFaultRecover: return "fault_recover";
+    case TraceEvent::kCacheRepair: return "cache_repair";
+    case TraceEvent::kRepairReroute: return "repair_reroute";
     case TraceEvent::kEventCount_: break;  // not a real event
   }
   return "unknown";

@@ -35,6 +35,8 @@ enum class TraceEvent : std::uint8_t {
   kAmcastDeliver,  // atomic multicast delivered a message (leader-side)
   kFaultInject,    // nemesis injected a disruption (crash, leader kill, cut, drop burst)
   kFaultRecover,   // nemesis restored something (recover, heal, drop burst end)
+  kCacheRepair,    // client installed a piggybacked ⟨var, partition, epoch⟩ repair
+  kRepairReroute,  // a retry was re-routed from repaired cache state (no consult)
   // Add new events directly above and extend to_string(); the sentinel keeps
   // kTraceEventTypes (and every count array) sized automatically, and the
   // static_assert below fails until the last-member reference is updated —
@@ -44,7 +46,7 @@ enum class TraceEvent : std::uint8_t {
 
 inline constexpr std::size_t kTraceEventTypes =
     static_cast<std::size_t>(TraceEvent::kEventCount_);
-static_assert(kTraceEventTypes == static_cast<std::size_t>(TraceEvent::kFaultRecover) + 1,
+static_assert(kTraceEventTypes == static_cast<std::size_t>(TraceEvent::kRepairReroute) + 1,
               "TraceEvent changed: point this assert at the new last event and add "
               "its to_string() case (stats_test checks exhaustiveness)");
 

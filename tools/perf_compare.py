@@ -54,6 +54,14 @@ GATED_EXTRAS = {
         # drift between --smoke and full windows fits the default band.
         "event_ratio": "default",
     },
+    "chirper.locality": {
+        # Deterministic per seed, but the --smoke window is much shorter so
+        # the cold-miss phase weighs more and the on/off ratios land in a
+        # different regime than the committed full-window baseline — wide.
+        "consult_ratio": "wide",
+        "event_ratio": "wide",
+        "throughput_ratio": "wide",
+    },
     "sweep.parallel": {"results_identical": "exact"},
 }
 
@@ -61,6 +69,16 @@ GATED_EXTRAS = {
 # baseline. The batching/pipelining hot path must stay a >= 1.5x win.
 REQUIRED_MIN = {
     "chirper.batched": {"event_ratio": 1.5},
+    # The locality fast path promise: prefetch + repair must at least halve
+    # deterministic oracle consults per command, do strictly less simulator
+    # work per command, and never trade throughput away for it. Ratios are
+    # off/on (consults, events) and on/off (throughput), all deterministic
+    # per seed, so these floors are exact gates rather than noisy timing.
+    "chirper.locality": {
+        "consult_ratio": 2.0,
+        "event_ratio": 1.0,
+        "throughput_ratio": 1.0,
+    },
 }
 
 

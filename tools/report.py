@@ -5,7 +5,7 @@ Usage:
     tools/report.py BENCH_<experiment>.json [-o REPORT_<experiment>.html]
                     [--run LABEL]
 
-Input is a `dssmr.run_record.v5` (or older) file produced by any fig_* bench with
+Input is a `dssmr.run_record.v6` (or older) file produced by any fig_* bench with
 --json; runs that also passed --telemetry carry a `telemetry` section and get
 the full dashboard (gauge sparklines, per-partition heat strips, windowed
 latency percentiles, fault-window shading from timeline marks). Runs without
@@ -149,6 +149,42 @@ def sparkline(name, ticks, values, t_end, shading, marks_svg, label_extra=""):
     {shading}{marks_svg}
     <line x1="0" y1="{SPARK_H - 1}" x2="{SPARK_W}" y2="{SPARK_H - 1}" stroke="{C_GRID}"/>
     {polyline(xs, ys, C_LINE)}
+  </svg>
+</div>"""
+
+
+def cache_effectiveness(gauges, ticks, t_end, shading, marks_svg):
+    """Paired sparkline of the windowed location-cache hit rate (blue)
+    against the oracle consult rate (red), on one shared 0-based scale —
+    the two series are complementary by construction (a consult is a miss
+    the prefetcher failed to absorb), so divergence over time is the
+    cache-warming story at a glance."""
+    hits = gauges.get("locality.window_hit_rate")
+    consults = gauges.get("locality.consult_rate")
+    if not hits or not consults:
+        return ""
+    xs = [SPARK_W * t / t_end if t_end else 0 for t in ticks]
+    # One scale for both lines, anchored at 0 so the rates stay comparable.
+    top = max(max(hits), max(consults), 1e-9)
+    pad = 3
+
+    def to_y(vals):
+        return [SPARK_H - pad - (SPARK_H - 2 * pad) * v / top for v in vals]
+
+    stats = (f"hit rate last {fmt(hits[-1])} · "
+             f"consult rate last {fmt(consults[-1])}")
+    return f"""
+<h3>Cache effectiveness</h3>
+<div class="spark-row">
+  <div class="spark-name"><span style="color:{C_LINE}">hit rate</span> vs
+    <span style="color:{C_P99}">consult rate</span>
+    <span class="spark-stats">{stats}</span></div>
+  <svg width="{SPARK_W}" height="{SPARK_H}" viewBox="0 0 {SPARK_W} {SPARK_H}">
+    <rect width="{SPARK_W}" height="{SPARK_H}" fill="#fafafa"/>
+    {shading}{marks_svg}
+    <line x1="0" y1="{SPARK_H - 1}" x2="{SPARK_W}" y2="{SPARK_H - 1}" stroke="{C_GRID}"/>
+    {polyline(xs, to_y(hits), C_LINE)}
+    {polyline(xs, to_y(consults), C_P99)}
   </svg>
 </div>"""
 
@@ -308,6 +344,9 @@ def render_run(run):
     if loc:
         out.append(f"<p class='meta'>locality (single-partition fraction): "
                    f"min {min(loc):.3f} · mean {sum(loc) / len(loc):.3f}</p>")
+
+    out.append(cache_effectiveness(tel.get("gauges", {}), ticks, t_end,
+                                   shading, marks_svg))
 
     out.append("<h3>Latency</h3>")
     out.append(latency_chart(tel.get("latency_windows", []), interval, t_end,

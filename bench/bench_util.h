@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "fault/scale_plan.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "stats/run_record.h"
@@ -38,6 +39,11 @@ namespace dssmr::bench {
 ///                          plan name or fault-plan DSL (see
 ///                          fault/fault_plan.h); benches forward nemesis()
 ///                          into their run configs
+///   --scale-plan <plan>    run every point under an elastic scale plan — a
+///                          shipped plan name or scale-plan DSL (see
+///                          fault/scale_plan.h, e.g. add-partition@2s);
+///                          benches forward scale_plan() into their run
+///                          configs. Composes with --nemesis
 ///   --telemetry            enable flight-recorder telemetry (gauge samples,
 ///                          windowed partition heat, latency windows, fault
 ///                          marks); lands in the --json run record's
@@ -168,10 +174,25 @@ class RunRecordSink {
             bad_args_ = true;  // can return 2 instead of crashing mid-run
           }
         }
+      } else if (std::strcmp(argv[i], "--scale-plan") == 0) {
+        scale_plan_ = next_or("");
+        if (scale_plan_.empty()) {
+          std::fprintf(stderr, "--scale-plan needs a plan name or scale-plan spec\n");
+          bad_args_ = true;
+        } else {
+          try {
+            fault::resolve_scale_plan(scale_plan_);  // surface parse errors here...
+          } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            scale_plan_ = "";   // ...and keep the sweep scale-free so finish()
+            bad_args_ = true;   // can return 2 instead of crashing mid-run
+          }
+        }
       } else {
         std::fprintf(stderr,
                      "unknown flag %s (supported: --json [path], --jobs N, "
                      "--trace [path], --trace-chrome [path], --nemesis <plan>, "
+                     "--scale-plan <plan>, "
                      "--telemetry, --telemetry-interval <us>, --batch-size <n>, "
                      "--batch-delay-us <us>, --pipeline-depth <n>, "
                      "--prefetch-k <n>, --cache-repair, --coalesce-moves <n>, "
@@ -199,6 +220,9 @@ class RunRecordSink {
   std::size_t spans_capacity() const { return 1u << 16; }
   /// Benches set ChirperRunConfig::nemesis to this (empty = no faults).
   const std::string& nemesis() const { return nemesis_; }
+  /// Benches set ChirperRunConfig::scale_plan to this (empty = no
+  /// elasticity, byte-identical to the pre-elasticity output).
+  const std::string& scale_plan() const { return scale_plan_; }
   /// Benches set ChirperRunConfig::telemetry (or DeploymentConfig::telemetry)
   /// to this; the run record then carries a `telemetry` section.
   bool telemetry_wanted() const { return telemetry_; }
@@ -281,6 +305,7 @@ class RunRecordSink {
   std::string trace_path_;
   std::string chrome_path_;
   std::string nemesis_;
+  std::string scale_plan_;
   bool telemetry_ = false;
   Duration telemetry_interval_ = msec(100);
   std::size_t batch_size_ = 0;

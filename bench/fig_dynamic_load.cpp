@@ -14,6 +14,7 @@
 #include "chirper/chirper.h"
 #include "core/dynastar_policy.h"
 #include "fault/nemesis.h"
+#include "fault/scaler.h"
 #include "workload/chirper_workload.h"
 
 namespace {
@@ -112,6 +113,8 @@ int main(int argc, char** argv) {
     dep.cache_repair = sink.cache_repair();
     dep.coalesce_moves = sink.coalesce_moves();
     dep.coalesce_delay = sink.coalesce_delay();
+    dep.elastic = !sink.scale_plan().empty();
+    dep.oracle.elastic = dep.elastic;
 
     harness::PolicyFactory policy;
     if (dynastar) {
@@ -132,6 +135,11 @@ int main(int argc, char** argv) {
     if (!sink.nemesis().empty()) {
       nemesis.emplace(d, fault::resolve_plan(sink.nemesis()));
       nemesis->arm();
+    }
+    std::optional<fault::Scaler> scaler;
+    if (!sink.scale_plan().empty()) {
+      scaler.emplace(d, fault::resolve_scale_plan(sink.scale_plan()));
+      scaler->arm();
     }
 
     GrowingWorkload wl{1500, /*target_edges=*/3000, 7};
@@ -156,6 +164,7 @@ int main(int argc, char** argv) {
     out.rec.add_meta("seed", std::to_string(dep.seed));
     out.rec.add_meta("repartitionings", std::to_string(out.repartitionings));
     out.rec.add_meta("nemesis", sink.nemesis().empty() ? "none" : sink.nemesis());
+    if (!sink.scale_plan().empty()) out.rec.add_meta("scale_plan", sink.scale_plan());
     sink.add_locality_meta(out.rec);
     return out;
   });

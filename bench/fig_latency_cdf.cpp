@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     cfg.trace = sink.trace_wanted();
     cfg.spans = sink.spans_wanted();
     cfg.nemesis = sink.nemesis();
+    cfg.scale_plan = sink.scale_plan();
     cfg.telemetry = sink.telemetry_wanted();
     cfg.telemetry_interval = sink.telemetry_interval();
     cfg.spans_capacity = sink.spans_capacity();

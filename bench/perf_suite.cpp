@@ -529,6 +529,41 @@ BenchResult bench_chirper_locality(bool smoke) {
   return r;
 }
 
+// Elasticity-on/off pair on the same config and seed: the off run has no
+// scale plan, the on run boots a third partition via `add-partition` with the
+// event placed inside the warmup window, so by the time the measured window
+// opens the membership record is delivered and the chunked rebalance has
+// settled — the pair compares steady states, not the rebalance transient.
+//
+// `throughput_ratio` (on/off, simulated commands/sec, deterministic per seed)
+// is the load-bearing number: tools/perf_compare.py enforces a hard >= 0.95
+// floor, i.e. running elastic must never cost more than 5% of steady-state
+// throughput (it usually gains — a third partition shares the load).
+BenchResult bench_chirper_elastic(bool smoke) {
+  auto cfg = small_chirper(smoke, 42);
+  cfg.clients_per_partition = 8;
+
+  const harness::RunResult off = harness::run_chirper(cfg);
+
+  cfg.scale_plan = smoke ? "add-partition@50ms" : "add-partition@250ms";
+  const harness::RunResult on = harness::run_chirper(cfg);
+  const double on_wall = on.drive_wall_s;
+
+  BenchResult r{"chirper.elastic",
+                static_cast<double>(on.ok + on.nok) / on_wall, on_wall, {}};
+  r.extra.emplace_back("throughput_cps", on.throughput_cps);
+  r.extra.emplace_back("off_throughput_cps", off.throughput_cps);
+  r.extra.emplace_back("throughput_ratio",
+                       off.throughput_cps > 0 ? on.throughput_cps / off.throughput_cps : 0.0);
+  r.extra.emplace_back("partitions_added",
+                       static_cast<double>(on.counter("elastic.partitions_added")));
+  r.extra.emplace_back("rebalance_moves",
+                       static_cast<double>(on.counter("elastic.rebalance_moves")));
+  r.extra.emplace_back("rebalance_vars",
+                       static_cast<double>(on.counter("elastic.rebalance_vars")));
+  return r;
+}
+
 BenchResult bench_sweep_parallel(bool smoke, std::size_t jobs) {
   std::vector<harness::ChirperRunConfig> cfgs;
   for (std::uint64_t s = 0; s < 4; ++s) cfgs.push_back(small_chirper(smoke, 40 + s));
@@ -594,6 +629,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_chirper_telemetry(smoke));
   results.push_back(bench_chirper_batched(smoke));
   results.push_back(bench_chirper_locality(smoke));
+  results.push_back(bench_chirper_elastic(smoke));
   results.push_back(bench_sweep_parallel(smoke, jobs));
 
   const double total_wall = seconds_since(suite_t0);

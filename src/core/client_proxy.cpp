@@ -450,7 +450,9 @@ void ClientProxy::do_fallback() {
   trace(TraceEvent::kFallback, cmd_.id.value, retries_);
   fallback_start_ = network().engine().now();
   DSSMR_ASSERT(cmd_.type == CommandType::kAccess);
-  send_command(cfg_.partitions, Phase::kAwaitFallback);
+  send_command(cfg_.partition_universe != nullptr ? *cfg_.partition_universe
+                                                  : cfg_.partitions,
+               Phase::kAwaitFallback);
 }
 
 void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
@@ -502,7 +504,10 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
     }
 
     case Phase::kAwaitCommand:
-      if (r->code == ReplyCode::kRetry) {
+      // kRetired is kRetry's elastic sibling: the partition drained and left,
+      // so the answer is the same — invalidate and re-route (the re-consult
+      // sees the post-drain mapping).
+      if (r->code == ReplyCode::kRetry || r->code == ReplyCode::kRetired) {
         network().engine().cancel(timeout_);
         timeout_ = 0;
         decompose_reply(*r);
@@ -530,7 +535,7 @@ void ClientProxy::on_reply(ProcessId from, const net::MessagePtr& m) {
       break;
 
     case Phase::kAwaitFallback:
-      if (r->code != ReplyCode::kRetry) {
+      if (r->code != ReplyCode::kRetry && r->code != ReplyCode::kRetired) {
         decompose_reply(*r);
         finish(r->code, r->app_reply);
       }

@@ -55,6 +55,12 @@ struct ClientConfig {
   Duration op_timeout = msec(250);
   GroupId oracle_group = kNoGroup;
   std::vector<GroupId> partitions;
+  /// Live partition universe for the S-SMR fallback under elastic
+  /// repartitioning. Points at the deployment's address-stable live-group
+  /// list: retired partitions drop out and added ones join, so a fallback
+  /// never waits on a drained group. nullptr (or in non-elastic runs,
+  /// identical contents) falls back to `partitions`.
+  const std::vector<GroupId>* partition_universe = nullptr;
   /// Required for kStaticSsmr.
   std::shared_ptr<const StaticMap> static_map;
   /// Send workload-graph hints to the oracle after commands that carry them.

@@ -27,6 +27,7 @@ class Mapping {
   explicit Mapping(std::vector<GroupId> partitions) : partitions_(std::move(partitions)) {
     DSSMR_ASSERT(!partitions_.empty());
     counts_.resize(partitions_.size(), 0);
+    live_.resize(partitions_.size(), true);
   }
 
   bool contains(VarId v) const { return map_.contains(v); }
@@ -76,13 +77,76 @@ class Mapping {
   /// Number of variables currently mapped to `p`.
   std::uint64_t load(GroupId p) const { return counts_[index_of(p)]; }
 
-  /// Partition with the fewest variables (ties -> lowest id).
+  /// Partition with the fewest variables among live (non-draining) partitions
+  /// (ties -> lowest id).
   GroupId least_loaded() const {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < partitions_.size(); ++i) {
-      if (counts_[i] < counts_[best]) best = i;
+    std::size_t best = partitions_.size();
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      if (!live_[i]) continue;
+      if (best == partitions_.size() || counts_[i] < counts_[best]) best = i;
     }
+    DSSMR_ASSERT_MSG(best != partitions_.size(), "no live partition in mapping");
     return partitions_[best];
+  }
+
+  // -- Membership (elastic repartitioning; see DESIGN.md "How elasticity
+  // works"). Membership mutations, like placement mutations, only happen
+  // while processing atomically delivered commands, so every oracle replica
+  // transitions at the same point in the command sequence.
+
+  /// Admits a freshly booted partition. It starts live and empty, so
+  /// least_loaded() immediately favours it for new placements.
+  void add_partition(GroupId p) {
+    DSSMR_ASSERT_MSG(!is_member(p), "partition added twice");
+    partitions_.push_back(p);
+    counts_.push_back(0);
+    live_.push_back(true);
+    ++membership_epoch_;
+  }
+
+  /// Marks `p` draining: it stays a member (moves off it still resolve
+  /// indices) but stops being a placement candidate.
+  void set_draining(GroupId p) {
+    live_[index_of(p)] = false;
+    ++membership_epoch_;
+  }
+
+  bool is_member(GroupId p) const {
+    for (GroupId g : partitions_) {
+      if (g == p) return true;
+    }
+    return false;
+  }
+
+  /// Live == member and not draining. Unknown partitions are not live, so
+  /// this doubles as the placement-candidate check.
+  bool is_live(GroupId p) const {
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      if (partitions_[i] == p) return live_[i];
+    }
+    return false;
+  }
+
+  std::size_t live_count() const {
+    std::size_t n = 0;
+    for (bool l : live_) n += l ? 1 : 0;
+    return n;
+  }
+
+  /// Bumped on every add_partition()/set_draining(); lets readers detect that
+  /// the partition universe changed without diffing the vector.
+  std::uint64_t membership_epoch() const { return membership_epoch_; }
+
+  /// Appends every variable currently mapped to `p`, sorted by id. The sort
+  /// makes the order canonical (independent of hash-table layout), which the
+  /// rebalance planner relies on for replica-identical move plans.
+  void vars_on(GroupId p, std::vector<VarId>& out) const {
+    const std::size_t base = out.size();
+    for (const auto& [v, loc] : map_) {
+      if (loc == p) out.push_back(v);
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+              [](VarId a, VarId b) { return a.value < b.value; });
   }
 
  private:
@@ -95,6 +159,9 @@ class Mapping {
 
   std::vector<GroupId> partitions_;
   std::vector<std::uint64_t> counts_;
+  /// Parallel to partitions_: false while draining/retired.
+  std::vector<bool> live_;
+  std::uint64_t membership_epoch_ = 0;
   LocationMap map_;
   common::FlatMap<VarId, std::uint64_t> epochs_;
 };

@@ -60,7 +60,13 @@ void OracleNode::init_oracle(net::Network& network, const multicast::Directory& 
           // byte-identical to the pre-locality output.
           config_.prefetch_k > 0 ? handle("locality.prefetch_sent") : &dummy_counter(),
           config_.coalesce_moves > 0 ? handle("locality.coalesced_moves") : &dummy_counter(),
-          config_.coalesce_moves > 0 ? handle("locality.bulk_flushes") : &dummy_counter()};
+          config_.coalesce_moves > 0 ? handle("locality.bulk_flushes") : &dummy_counter(),
+          // Elastic counters follow the same rule: interned only when a scale
+          // plan is armed, so non-elastic run records keep their exact bytes.
+          config_.elastic ? handle("elastic.partitions_added") : &dummy_counter(),
+          config_.elastic ? handle("elastic.partitions_retired") : &dummy_counter(),
+          config_.elastic ? handle("elastic.rebalance_moves") : &dummy_counter(),
+          config_.elastic ? handle("elastic.rebalance_vars") : &dummy_counter()};
   if (metrics_ != nullptr) {
     busy_series_ = &metrics_->series("oracle.busy_us");
     moves_series_ = &metrics_->series("moves_ts");
@@ -131,6 +137,9 @@ void OracleNode::on_amdeliver(const multicast::AmcastMessage& m) {
     case CommandType::kMove:
       handle_move(cmd);
       break;
+    case CommandType::kReconfig:
+      handle_reconfig(cmd);
+      break;
     case CommandType::kAccess:
       // Fall-back S-SMR executions do not involve the oracle; nothing to do.
       break;
@@ -149,6 +158,10 @@ void OracleNode::handle_consult(const multicast::AmcastMessage& m, const Consult
       prophecy->code = ReplyCode::kNok;
     } else {
       prophecy->dest = policy_->place_new(v, *mapping_);
+      // A draining partition must stop accumulating state; policies that
+      // ignore membership (e.g. a stale DynaStar ideal) are overridden here,
+      // at the single choke point every placement goes through.
+      if (!mapping_->is_live(prophecy->dest)) prophecy->dest = mapping_->least_loaded();
       prophecy->locations.emplace_back(v, prophecy->dest);
     }
   } else {
@@ -169,6 +182,9 @@ void OracleNode::handle_consult(const multicast::AmcastMessage& m, const Consult
       prophecy->locations.clear();
     } else if (cmd.type == CommandType::kAccess && dests.size() > 1) {
       prophecy->dest = policy_->choose_destination(cmd.vars(), *mapping_);
+      // Same draining guard as place_new: collocation must target a live
+      // partition even when the policy picks the (involved) draining one.
+      if (!mapping_->is_live(prophecy->dest)) prophecy->dest = mapping_->least_loaded();
       if (config_.oracle_issues_moves && is_leader()) {
         // DynaStar mode: the oracle collocates the variables itself. The move
         // id is derived from the consult id so the client can await the
@@ -362,6 +378,139 @@ void OracleNode::handle_move(const Command& cmd) {
   }
   bump(ctr_.moves_applied);
   queue_reply_task(config_.command_service, [] {});
+}
+
+void OracleNode::submit_reconfig(GroupId partition, std::uint32_t op) {
+  Command cmd;
+  cmd.type = CommandType::kReconfig;
+  cmd.id = next_msg_id();
+  cmd.op = op;
+  cmd.move_dest = partition;
+  amcast({group()}, net::make_msg<CommandMsg>(std::move(cmd)));
+}
+
+void OracleNode::handle_reconfig(const Command& cmd) {
+  const GroupId target = cmd.move_dest;
+  if (cmd.op == kReconfigAdd) {
+    if (!mapping_->is_member(target)) {
+      mapping_->add_partition(target);
+      partitions_.push_back(target);
+      bump(ctr_.partitions_added);
+      trace(stats::TraceEvent::kPartitionAdded, cmd.id.value,
+            static_cast<std::int64_t>(target.value));
+    }
+    // Rebalance toward the newcomer. Leader-only, like oracle-issued
+    // collocation moves: the moves go through the regular amcast machinery
+    // and every replica's mapping updates when they deliver.
+    if (is_leader()) plan_rebalance_in(target);
+  } else {
+    DSSMR_ASSERT_MSG(cmd.op == kReconfigRetire, "unknown reconfig op");
+    DSSMR_ASSERT_MSG(mapping_->is_member(target), "retiring an unknown partition");
+    if (mapping_->is_live(target)) {
+      mapping_->set_draining(target);
+      bump(ctr_.partitions_retired);
+      trace(stats::TraceEvent::kPartitionDraining, cmd.id.value,
+            static_cast<std::int64_t>(target.value));
+    }
+    // Sweep whatever is currently mapped there. The Scaler re-submits the
+    // retire record if stragglers (moves in flight at planning time) land
+    // variables on the draining partition afterwards — handle_reconfig is
+    // idempotent, so each sweep only moves the leftovers.
+    if (is_leader()) plan_drain(target);
+  }
+  queue_reply_task(config_.command_service, [] {});
+}
+
+void OracleNode::plan_rebalance_in(GroupId target) {
+  const std::size_t live = mapping_->live_count();
+  if (live == 0) return;
+  const std::uint64_t quota = mapping_->var_count() / live;
+  const std::uint64_t held = mapping_->load(target);
+  std::uint64_t deficit = quota > held ? quota - held : 0;
+  // Donors above quota, most loaded first (stable sort over the membership
+  // order keeps ties canonical — every replica would plan identically).
+  std::vector<GroupId> donors;
+  for (GroupId p : mapping_->partitions()) {
+    if (p == target || !mapping_->is_live(p)) continue;
+    if (mapping_->load(p) > quota) donors.push_back(p);
+  }
+  std::stable_sort(donors.begin(), donors.end(),
+                   [&](GroupId a, GroupId b) { return mapping_->load(a) > mapping_->load(b); });
+  std::vector<VarId> vars;
+  for (GroupId donor : donors) {
+    if (deficit == 0) break;
+    const std::uint64_t take = std::min<std::uint64_t>(mapping_->load(donor) - quota, deficit);
+    if (take == 0) continue;
+    vars.clear();
+    mapping_->vars_on(donor, vars);
+    vars.resize(static_cast<std::size_t>(take));
+    deficit -= take;
+    for (std::size_t i = 0; i < vars.size(); i += config_.rebalance_chunk) {
+      const std::size_t n = std::min(config_.rebalance_chunk, vars.size() - i);
+      issue_rebalance_move(
+          donor, target,
+          std::vector<VarId>(vars.begin() + static_cast<std::ptrdiff_t>(i),
+                             vars.begin() + static_cast<std::ptrdiff_t>(i + n)));
+    }
+  }
+}
+
+void OracleNode::plan_drain(GroupId retiring) {
+  std::vector<VarId> vars;
+  mapping_->vars_on(retiring, vars);
+  if (vars.empty()) return;
+  // Chunk destinations spread by a local copy of the live loads, so one
+  // planning pass balances the whole drain deterministically.
+  std::vector<GroupId> live;
+  std::vector<std::uint64_t> loads;
+  for (GroupId p : mapping_->partitions()) {
+    if (!mapping_->is_live(p)) continue;
+    live.push_back(p);
+    loads.push_back(mapping_->load(p));
+  }
+  DSSMR_ASSERT_MSG(!live.empty(), "draining the last live partition");
+  for (std::size_t i = 0; i < vars.size(); i += config_.rebalance_chunk) {
+    const std::size_t n = std::min(config_.rebalance_chunk, vars.size() - i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < live.size(); ++j) {
+      if (loads[j] < loads[best]) best = j;
+    }
+    loads[best] += n;
+    issue_rebalance_move(
+        retiring, live[best],
+        std::vector<VarId>(vars.begin() + static_cast<std::ptrdiff_t>(i),
+                           vars.begin() + static_cast<std::ptrdiff_t>(i + n)));
+  }
+}
+
+void OracleNode::issue_rebalance_move(GroupId from, GroupId to, std::vector<VarId> chunk) {
+  Command move;
+  move.type = CommandType::kMove;
+  move.id = next_msg_id();
+  move.requester = kNoProcess;  // no client awaits this reply
+  move.write_set = std::move(chunk);  // vars_on() order == vars() order (sorted)
+  move.move_sources = {from};
+  move.move_dest = to;
+  if (config_.cache_repair) {
+    for (VarId v : move.write_set) move.move_epochs.push_back(mapping_->epoch_of(v) + 1);
+  }
+  bump(ctr_.rebalance_moves);
+  if (is_leader()) {
+    ctr_.rebalance_vars->inc(move.write_set.size());
+    if (metrics_ != nullptr) {
+      metrics_->histogram("elastic.rebalance_entries")
+          .record(static_cast<std::int64_t>(move.write_set.size()));
+    }
+  }
+  trace(stats::TraceEvent::kRebalanceMove, move.id.value,
+        static_cast<std::int64_t>(to.value));
+  if (moves_series_ != nullptr && is_leader()) moves_series_->add(engine().now());
+  std::vector<GroupId> dests{from, to, group()};
+  if (config_.coalesce_moves > 0) {
+    buffer_move(std::move(move), std::move(dests));
+  } else {
+    amcast(std::move(dests), net::make_msg<CommandMsg>(std::move(move)));
+  }
 }
 
 void OracleNode::buffer_move(Command move, std::vector<GroupId> dests) {

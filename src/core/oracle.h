@@ -49,7 +49,18 @@ struct OracleConfig {
   std::size_t coalesce_moves = 0;
   /// Max virtual-time wait before a partial move buffer flushes.
   Duration coalesce_delay = usec(200);
+  /// Elastic repartitioning armed (a ScalePlan may deliver membership
+  /// records). Gates the interning of the elastic.* counters so non-elastic
+  /// run records stay byte-identical to the pre-elasticity output.
+  bool elastic = false;
+  /// Variables per rebalance move command (one chunk = one kMove multicast;
+  /// chunks from one planning pass coalesce further when coalescing is on).
+  std::size_t rebalance_chunk = 16;
 };
+
+/// Command::op values of a kReconfig membership record.
+inline constexpr std::uint32_t kReconfigAdd = 0;
+inline constexpr std::uint32_t kReconfigRetire = 1;
 
 /// Deterministic move-command id derived from the consult id, so the client
 /// knows which reply to wait for when the oracle issues the move.
@@ -76,6 +87,15 @@ class OracleNode : public multicast::GroupNode {
   /// Telemetry gauge (see harness/deployment.cpp).
   std::size_t queue_depth() const { return exec_->queue_depth(); }
 
+  /// Elastic membership entry point (called on the current leader by the
+  /// Scaler): atomically multicasts a kReconfig record to the oracle group so
+  /// EVERY replica admits/drains `partition` at the same point in the
+  /// delivered command order. `op` is kReconfigAdd or kReconfigRetire.
+  /// Idempotent at delivery — re-submitting a retire re-sweeps whatever
+  /// variables are still mapped to the draining partition (in-flight moves
+  /// can land variables on it between planning and delivery).
+  void submit_reconfig(GroupId partition, std::uint32_t op);
+
  protected:
   void on_amdeliver(const multicast::AmcastMessage& m) override;
   void on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) override;
@@ -91,6 +111,16 @@ class OracleNode : public multicast::GroupNode {
   void handle_delete(const multicast::AmcastMessage& m, const smr::Command& cmd);
   void handle_move(const smr::Command& cmd);
   void handle_hint(const smr::HintMsg& hint);
+  void handle_reconfig(const smr::Command& cmd);
+
+  /// Rebalance planners (leader only, run while processing a delivered
+  /// kReconfig): fill a fresh partition up to the per-partition quota /
+  /// drain every variable off a retiring one, by issuing chunked kMove
+  /// commands through the regular move machinery.
+  void plan_rebalance_in(GroupId target);
+  void plan_drain(GroupId retiring);
+  /// One chunked rebalance move: sources = {from}, dest = to.
+  void issue_rebalance_move(GroupId from, GroupId to, std::vector<VarId> chunk);
 
   /// Move coalescing (leader only): buffers an oracle-issued move, flushing
   /// by count or after coalesce_delay.
@@ -135,6 +165,10 @@ class OracleNode : public multicast::GroupNode {
     stats::Counter* prefetch_sent;
     stats::Counter* coalesced_moves;
     stats::Counter* bulk_flushes;
+    stats::Counter* partitions_added;
+    stats::Counter* partitions_retired;
+    stats::Counter* rebalance_moves;
+    stats::Counter* rebalance_vars;
   } ctr_{};
   /// Interned series handles; nullptr when no metrics sink is wired.
   stats::TimeSeries* busy_series_ = nullptr;

@@ -68,12 +68,20 @@ void PartitionServer::bump(stats::Counter* c) {
 
 void PartitionServer::heat_command(bool multi) {
   if (metrics_ == nullptr || !is_leader()) return;
-  metrics_->recorder().record_command(engine().now(), group().value, multi);
+  metrics_->recorder().record_command(engine().now(), heat_index(), multi);
 }
 
 void PartitionServer::heat_move() {
   if (metrics_ == nullptr || !is_leader()) return;
-  metrics_->recorder().record_move(engine().now(), group().value);
+  metrics_->recorder().record_move(engine().now(), heat_index());
+}
+
+std::size_t PartitionServer::heat_index() const {
+  // Dense partition index: the oracle group sits at gid == partition count,
+  // so elastically added partitions (gid > oracle) shift down by one. Initial
+  // partitions (gid < oracle) keep their gid as index, unchanged from the
+  // pre-elasticity layout.
+  return group().value < config_.oracle_group.value ? group().value : group().value - 1;
 }
 
 void PartitionServer::span(SpanPhase p, std::uint64_t trace_id, Time start, Time end,
@@ -209,6 +217,10 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
                                             const Command& cmd) {
   const ProcessId client = cmd.requester != kNoProcess ? cmd.requester : m.sender;
   const Time delivered = engine().now();
+  // A retired partition's "your information is stale" answer upgrades to
+  // kRetired: the client must also drop the partition from its cache and
+  // go back to the oracle rather than re-route here.
+  const ReplyCode stale = retired_ ? ReplyCode::kRetired : ReplyCode::kRetry;
 
   // Ownership check at delivery time (the paper's "all variables stored
   // locally?"). Ownership is updated synchronously on delivery of moves, so
@@ -220,7 +232,7 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
       // The retry carries repair entries (current owner + epoch, or a
       // forwarding pointer for variables we moved away) so the client can
       // re-route directly instead of re-consulting the oracle.
-      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false,
+      reply_to(client, cmd.id, stale, nullptr, /*cache=*/false,
                ReplyTiming{delivered, delivered, delivered}, /*access_final=*/false,
                make_repair(cmd.vars()));
       return;
@@ -229,7 +241,7 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
   for (VarId v : cmd.write_set) {
     if (!owned_.contains(v)) {
       bump(ctr_.retries_issued);
-      reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false,
+      reply_to(client, cmd.id, stale, nullptr, /*cache=*/false,
                ReplyTiming{delivered, delivered, delivered}, /*access_final=*/false,
                make_repair(cmd.vars()));
       return;
@@ -261,8 +273,10 @@ void PartitionServer::deliver_access_single(const multicast::AmcastMessage& m,
             for (VarId v : cmd.vars()) {
               if (!store_.contains(v)) {
                 bump(ctr_.retries_issued);
-                reply_to(client, cmd.id, ReplyCode::kRetry, nullptr, /*cache=*/false, timing,
-                         /*access_final=*/false, make_repair(cmd.vars()));
+                reply_to(client, cmd.id,
+                         retired_ ? ReplyCode::kRetired : ReplyCode::kRetry, nullptr,
+                         /*cache=*/false, timing, /*access_final=*/false,
+                         make_repair(cmd.vars()));
                 return;
               }
             }

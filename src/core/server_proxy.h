@@ -83,6 +83,16 @@ class PartitionServer : public multicast::GroupNode {
   std::size_t queue_depth() const { return exec_->queue_depth(); }
   std::size_t reply_cache_size() const { return completed_.size(); }
 
+  /// Elastic retirement: the partition has drained and left the deployment.
+  /// It keeps participating in multicast (commands already addressed to it
+  /// must still deliver, and S-SMR peers must not stall waiting for its
+  /// shipments) but answers kRetired instead of kRetry, steering clients back
+  /// to the oracle. Straggler moves that land variables here afterwards are
+  /// still accepted — rejecting them would drop the shipped values — and the
+  /// Scaler's drain watchdog re-sweeps them off.
+  void set_retired() { retired_ = true; }
+  bool retired() const { return retired_; }
+
  protected:
   void on_amdeliver(const multicast::AmcastMessage& m) override;
   void on_rmdeliver(ProcessId origin, const net::MessagePtr& payload) override;
@@ -129,6 +139,9 @@ class PartitionServer : public multicast::GroupNode {
   /// same sites as the single/multi counters so per-bucket sums tile them.
   void heat_command(bool multi);
   void heat_move();
+  /// Dense heat-table index of this partition (gid with the oracle's slot
+  /// compacted away; see heat_command).
+  std::size_t heat_index() const;
   void trace(stats::TraceEvent e, std::uint64_t id, std::int64_t arg = 0);
   /// Leader-gated server-view span (fold=false: the client attributes this
   /// time itself from the reply's timestamps).
@@ -174,6 +187,8 @@ class PartitionServer : public multicast::GroupNode {
   BoundedMap<VarId, Forward> forwards_{1 << 15};
   PartitionServerConfig config_;
   stats::Metrics* metrics_ = nullptr;
+  /// See set_retired().
+  bool retired_ = false;
 
   /// Interned counter handles (see ClientProxy::Counters).
   struct Counters {

@@ -1,0 +1,74 @@
+// Declarative scale plans for deterministic elastic-repartitioning runs.
+//
+// A ScalePlan is a list of virtual-time-triggered membership events — boot a
+// fresh partition mid-run, or drain and retire an existing one. Like fault
+// plans (fault_plan.h, whose DSL this mirrors), plans are data: the same plan
+// against the same deployment and seed replays the same scale history, so
+// elastic runs stay byte-for-byte reproducible.
+//
+// Plans are written in a compact one-line DSL so benches can take them on the
+// command line (--scale-plan) and CI can enumerate them:
+//
+//   event ::= action '@' time        (times relative to Scaler::arm())
+//   plan  ::= event (';' event)*
+//
+//   add-partition             boot one fresh replica group; the oracle admits
+//                             it via an atomically multicast membership record
+//                             and rebalances variables onto it
+//   remove-partition:<i>      drain partition <i> (all its variables move to
+//                             the remaining live partitions), wait for the
+//                             drain barrier, then retire it
+//
+// Partition indexes are dense over every partition ever created: in a
+// k-partition deployment the initial partitions are 0..k-1 and the first
+// added one is k. Times take us/ms/s suffixes: `add-partition@30s`.
+//
+// resolve_scale_plan() also accepts the names of the shipped plans (the ones
+// CI smoke-tests and lincheck covers); shipped_scale_plans() enumerates them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dssmr::fault {
+
+enum class ScaleAction : std::uint8_t {
+  kAddPartition,
+  kRemovePartition,
+};
+
+struct ScaleEvent {
+  Duration at = 0;  // relative to Scaler::arm()
+  ScaleAction action = ScaleAction::kAddPartition;
+  std::uint32_t partition = 0;  // remove-partition only
+};
+
+struct ScalePlan {
+  std::string name;  // shipped-plan name, or "custom"
+  std::string spec;  // the DSL text the plan was parsed from
+  std::vector<ScaleEvent> events;
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Parses the DSL above. Throws std::invalid_argument with a pointed message
+/// on malformed input (unknown action, bad index, missing '@time', ...).
+ScalePlan parse_scale_plan(std::string_view spec);
+
+/// Named plan shipped with the repo (and exercised by CI + lincheck).
+struct ShippedScalePlan {
+  std::string_view name;
+  std::string_view spec;
+  std::string_view what;  // one-line description for --help / docs
+};
+const std::vector<ShippedScalePlan>& shipped_scale_plans();
+
+/// Looks `name_or_spec` up in shipped_scale_plans() first; otherwise parses
+/// it as DSL. This is what --scale-plan feeds.
+ScalePlan resolve_scale_plan(std::string_view name_or_spec);
+
+}  // namespace dssmr::fault

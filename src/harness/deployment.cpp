@@ -11,6 +11,8 @@ namespace dssmr::harness {
 Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
                        PolicyFactory policy_factory)
     : config_(config),
+      app_factory_(std::move(app_factory)),
+      policy_factory_(std::move(policy_factory)),
       network_(engine_, config.net, config.seed),
       metrics_(config.metrics_bucket),
       static_map_(std::make_shared<core::StaticMap>()) {
@@ -60,6 +62,8 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
     }
     directory_.add_group(std::move(members));
     static_map_->partitions.push_back(partition_gid(p));
+    live_partition_gids_.push_back(partition_gid(p));
+    retired_.push_back(false);
   }
 
   // Oracle group, rack 0.
@@ -77,7 +81,7 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
   for (std::size_t p = 0; p < config_.partitions; ++p) {
     for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
       server(p, r).init_partition(network_, directory_, partition_gid(p), config_.node,
-                                  app_factory, config_.server, &metrics_,
+                                  app_factory_, config_.server, &metrics_,
                                   config_.seed * 7919 + p * 131 + r);
       server(p, r).set_trace(&metrics_.trace());
       server(p, r).set_spans(&metrics_.spans());
@@ -85,9 +89,9 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
     }
   }
   for (std::size_t r = 0; r < config_.oracle_replicas; ++r) {
-    DSSMR_ASSERT(policy_factory != nullptr);
+    DSSMR_ASSERT(policy_factory_ != nullptr);
     oracles_[r]->init_oracle(network_, directory_, oracle_gid(), config_.node,
-                             policy_factory(), partition_gids(), config_.oracle, &metrics_,
+                             policy_factory_(), partition_gids(), config_.oracle, &metrics_,
                              config_.seed * 104729 + r);
     oracles_[r]->set_trace(&metrics_.trace());
     oracles_[r]->set_spans(&metrics_.spans());
@@ -127,6 +131,9 @@ Deployment::Deployment(DeploymentConfig config, smr::AppFactory app_factory,
   ccfg.op_timeout = config_.client_timeout;
   ccfg.oracle_group = oracle_gid();
   ccfg.partitions = partition_gids();
+  // Fallback universe tracks elastic membership; initially identical to
+  // ccfg.partitions, so non-elastic runs behave (and serialize) the same.
+  ccfg.partition_universe = &live_partition_gids_;
   ccfg.static_map = static_map_;
   ccfg.send_hints = config_.client_hints;
   ccfg.prefetch = config_.prefetch_k > 0;
@@ -240,6 +247,14 @@ void Deployment::register_telemetry_gauges() {
     });
   }
 
+  // Elastic repartitioning: live partition count over time (the report's
+  // partition-count strip). Only when a scale plan is armed — the gauge set
+  // of a non-elastic run must match the pre-elasticity one.
+  if (config_.elastic) {
+    rec.register_gauge("elastic.partitions",
+                       [this] { return static_cast<double>(live_partition_gids_.size()); });
+  }
+
   // Oracle state: mapped variables and (for DynaStar-style policies) the
   // workload-graph size. Replica 0's view — replicas hold identical state.
   rec.register_gauge("oracle.mapped_vars", [this] {
@@ -264,6 +279,63 @@ std::vector<GroupId> Deployment::partition_gids() const {
 
 core::PartitionServer& Deployment::server(std::size_t partition, std::size_t replica) {
   return *servers_[partition * config_.replicas_per_partition + replica];
+}
+
+GroupId Deployment::add_partition() {
+  const std::size_t p = partition_count();
+  std::vector<ProcessId> members;
+  for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+    auto node = std::make_unique<core::PartitionServer>();
+    members.push_back(network_.add_process(*node, static_cast<int>(p % 2)));
+    servers_.push_back(std::move(node));
+  }
+  const GroupId gid = directory_.add_group(std::move(members));
+  // The directory hands out dense ids; the oracle group registered right
+  // after the initial partitions, so the next id is exactly partition_gid(p)
+  // (which skips the oracle's reserved band).
+  DSSMR_ASSERT(gid == partition_gid(p));
+  if (config_.spans) {
+    metrics_.spans().set_group_name(gid, "partition " + std::to_string(p));
+  }
+  for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+    server(p, r).init_partition(network_, directory_, gid, config_.node, app_factory_,
+                                config_.server, &metrics_, config_.seed * 7919 + p * 131 + r);
+    server(p, r).set_trace(&metrics_.trace());
+    server(p, r).set_spans(&metrics_.spans());
+    server(p, r).set_metrics(&metrics_);
+    server(p, r).start();
+  }
+  live_partition_gids_.push_back(gid);
+  retired_.push_back(false);
+  return gid;
+}
+
+void Deployment::finish_retire(std::size_t i) {
+  DSSMR_ASSERT(i < partition_count());
+  DSSMR_ASSERT_MSG(!retired_[i], "partition retired twice");
+  retired_[i] = true;
+  const GroupId gid = partition_gid(i);
+  for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+    server(i, r).set_retired();
+  }
+  live_partition_gids_.erase(
+      std::remove(live_partition_gids_.begin(), live_partition_gids_.end(), gid),
+      live_partition_gids_.end());
+  DSSMR_ASSERT_MSG(!live_partition_gids_.empty(), "retired the last partition");
+}
+
+bool Deployment::partition_drained(std::size_t i) {
+  const GroupId gid = partition_gid(i);
+  for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
+    core::PartitionServer& s = server(i, r);
+    if (s.halted()) continue;  // a crashed replica re-learns the log on recovery
+    if (s.owned_count() != 0 || s.queue_depth() != 0 || s.amcast_pending() != 0) return false;
+  }
+  for (auto& o : oracles_) {
+    if (o->halted()) continue;
+    if (o->mapping().load(gid) != 0) return false;
+  }
+  return true;
 }
 
 void Deployment::reserve_vars(std::size_t n) {
@@ -316,9 +388,10 @@ std::vector<std::string> Deployment::audit_consistency() {
   auto complain = [&violations](const std::string& what) { violations.push_back(what); };
 
   // Reference replica per partition: the first live one (a crashed replica's
-  // state is legitimately stale).
-  std::vector<std::size_t> ref_replica(config_.partitions, config_.replicas_per_partition);
-  for (std::size_t p = 0; p < config_.partitions; ++p) {
+  // state is legitimately stale). Retired partitions stay in the audit — they
+  // must own nothing and agree on it.
+  std::vector<std::size_t> ref_replica(partition_count(), config_.replicas_per_partition);
+  for (std::size_t p = 0; p < partition_count(); ++p) {
     for (std::size_t r = 0; r < config_.replicas_per_partition; ++r) {
       if (!network_.crashed(server(p, r).pid())) {
         ref_replica[p] = r;
@@ -334,7 +407,7 @@ std::vector<std::string> Deployment::audit_consistency() {
   }
 
   // 1. Live replicas of each partition agree on the owned set.
-  for (std::size_t p = 0; p < config_.partitions; ++p) {
+  for (std::size_t p = 0; p < partition_count(); ++p) {
     const auto& ref = server(p, ref_replica[p]).owned_vars();
     for (std::size_t r = ref_replica[p] + 1; r < config_.replicas_per_partition; ++r) {
       if (network_.crashed(server(p, r).pid())) continue;
@@ -350,7 +423,7 @@ std::vector<std::string> Deployment::audit_consistency() {
 
   // 2. Every variable is owned by at most one partition.
   std::unordered_map<VarId, GroupId> owner;
-  for (std::size_t p = 0; p < config_.partitions; ++p) {
+  for (std::size_t p = 0; p < partition_count(); ++p) {
     for (VarId v : server(p, ref_replica[p]).owned_vars()) {
       auto [it, inserted] = owner.try_emplace(v, partition_gid(p));
       if (!inserted) {
@@ -409,7 +482,7 @@ std::vector<std::string> Deployment::audit_consistency() {
 
 std::uint64_t Deployment::total_executed() const {
   std::uint64_t n = 0;
-  for (std::size_t p = 0; p < config_.partitions; ++p) {
+  for (std::size_t p = 0; p < partition_count(); ++p) {
     n += const_cast<Deployment*>(this)->server(p, 0).executed_count();
   }
   return n;

@@ -96,6 +96,11 @@ struct DeploymentConfig {
   bool telemetry = false;
   /// Gauge-sampling cadence and heat/latency bucket width.
   Duration telemetry_interval = msec(100);
+
+  /// Elastic repartitioning (a ScalePlan will add/retire partitions mid-run).
+  /// Off by default; when off, no elastic gauge registers and the deployment
+  /// is byte-identical to a build without elasticity.
+  bool elastic = false;
 };
 
 class Deployment {
@@ -126,9 +131,43 @@ class Deployment {
   stats::Metrics& metrics() { return metrics_; }
   const DeploymentConfig& config() const { return config_; }
 
-  GroupId partition_gid(std::size_t i) const { return GroupId{static_cast<std::uint32_t>(i)}; }
+  /// GroupId layout: the initial k partitions take ids 0..k-1 and the oracle
+  /// holds the fixed id k for the deployment's whole lifetime. Dynamically
+  /// added partition i (i >= k) takes id i+1, skipping over the oracle's
+  /// reserved band — the id is still exactly what Directory::add_group hands
+  /// out, because the oracle group was registered between the initial
+  /// partitions and any elastic one.
+  GroupId partition_gid(std::size_t i) const {
+    return GroupId{static_cast<std::uint32_t>(i < config_.partitions ? i : i + 1)};
+  }
   GroupId oracle_gid() const { return GroupId{static_cast<std::uint32_t>(config_.partitions)}; }
   std::vector<GroupId> partition_gids() const;
+
+  /// Partitions ever created, including retired ones (indexes `server()`).
+  std::size_t partition_count() const { return servers_.size() / config_.replicas_per_partition; }
+  /// GroupIds of the partitions currently serving (admitted, not retired).
+  /// The vector's address is stable for the deployment's lifetime — clients
+  /// hold a pointer to it as their fallback-destination universe.
+  const std::vector<GroupId>& live_partition_gids() const { return live_partition_gids_; }
+  bool partition_retired(std::size_t i) const { return retired_[i]; }
+
+  /// Boots a fresh replica group mid-run (elastic scale-out): registers the
+  /// processes and the multicast group, wires trace/spans/metrics and starts
+  /// the replicas. The oracle does NOT know about it yet — the caller (the
+  /// Scaler) must follow up with an atomically multicast membership record so
+  /// every oracle replica admits it at the same point in the command order.
+  GroupId add_partition();
+
+  /// Finalizes a drain (elastic scale-in): marks every replica of `i` retired
+  /// — they keep participating in multicast (in-flight commands addressed to
+  /// them must still deliver) but answer kRetired — and removes the group
+  /// from the clients' fallback universe. Call only once drained() holds.
+  void finish_retire(std::size_t i);
+
+  /// Drain barrier predicate for partition `i`: no replica owns a variable,
+  /// queues and pending multicasts are empty, and every live oracle replica's
+  /// mapping shows zero load on it.
+  bool partition_drained(std::size_t i);
 
   core::PartitionServer& server(std::size_t partition, std::size_t replica);
   core::OracleNode& oracle(std::size_t replica) { return *oracles_[replica]; }
@@ -164,11 +203,19 @@ class Deployment {
   void telemetry_tick();
 
   DeploymentConfig config_;
+  /// Kept for elastic add_partition(): late replica groups are constructed
+  /// with the same factories as the initial ones.
+  smr::AppFactory app_factory_;
+  PolicyFactory policy_factory_;
   sim::Engine engine_;
   net::Network network_;
   multicast::Directory directory_;
   stats::Metrics metrics_;
   std::shared_ptr<core::StaticMap> static_map_;
+  /// Live (non-retired) partition GroupIds; address-stable, see accessor.
+  std::vector<GroupId> live_partition_gids_;
+  /// Parallel to partition indices (partition_count() entries).
+  std::vector<bool> retired_;
   std::vector<std::unique_ptr<core::PartitionServer>> servers_;
   std::vector<std::unique_ptr<core::OracleNode>> oracles_;
   /// One per rack when batching is on; registered after the oracles so that

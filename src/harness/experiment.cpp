@@ -10,6 +10,7 @@
 #include "common/assert.h"
 #include "core/dynastar_policy.h"
 #include "fault/nemesis.h"
+#include "fault/scaler.h"
 #include "partition/partitioner.h"
 
 namespace dssmr::harness {
@@ -129,6 +130,11 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   dep.telemetry_interval = cfg.telemetry_interval;
   dep.client_hints = cfg.strategy == core::Strategy::kDynaStar;
   dep.oracle.oracle_issues_moves = cfg.strategy == core::Strategy::kDynaStar;
+  // Elastic gating: the flag interns the elastic.* counters and registers the
+  // partition-count gauge, so it is set only when a plan is actually armed —
+  // scale-plan-free runs stay byte-identical to the pre-elasticity output.
+  dep.elastic = !cfg.scale_plan.empty();
+  dep.oracle.elastic = dep.elastic;
 
   const auto k = static_cast<std::uint32_t>(cfg.partitions);
   PolicyFactory policy_factory;
@@ -174,6 +180,13 @@ RunResult run_chirper(const ChirperRunConfig& cfg) {
   if (!cfg.nemesis.empty()) {
     nemesis.emplace(d, fault::resolve_plan(cfg.nemesis));
     nemesis->arm();
+  }
+  // Same lifetime rule as the nemesis; composes with it (both actors share
+  // the virtual clock, so e.g. a drain can run under a drop burst).
+  std::optional<fault::Scaler> scaler;
+  if (!cfg.scale_plan.empty()) {
+    scaler.emplace(d, fault::resolve_scale_plan(cfg.scale_plan));
+    scaler->arm();
   }
 
   workload::ChirperWorkload wl{prepared.graph, cfg.workload, cfg.seed * 31 + 7};
@@ -243,6 +256,9 @@ stats::RunRecord make_run_record(const ChirperRunConfig& cfg, const RunResult& r
   rec.add_meta("measure_us", std::to_string(cfg.measure));
   rec.add_meta("client_cache", cfg.client_cache ? "true" : "false");
   rec.add_meta("nemesis", cfg.nemesis.empty() ? "none" : cfg.nemesis);
+  // Conditional so scale-plan-free records keep the exact pre-elasticity
+  // meta key set (byte-identity modulo the schema token).
+  if (!cfg.scale_plan.empty()) rec.add_meta("scale_plan", cfg.scale_plan);
   if (cfg.batch_size > 0 || cfg.pipeline_depth > 0) {
     rec.add_meta("batch_size", std::to_string(cfg.batch_size));
     rec.add_meta("batch_delay_us", std::to_string(cfg.batch_delay));

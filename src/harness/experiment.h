@@ -130,6 +130,12 @@ struct ChirperRunConfig {
   /// fault/fault_plan.h), armed right after settle(). Empty = no faults.
   std::string nemesis;
 
+  /// Scale plan for the run: a shipped plan name or scale-plan DSL (see
+  /// fault/scale_plan.h), armed right after settle(). Empty = no elasticity
+  /// (and the run stays byte-identical to the pre-elasticity code). Composes
+  /// with `nemesis` — both actors are armed on the same clock.
+  std::string scale_plan;
+
   /// Flight-recorder telemetry (stats::Recorder): gauge sampling, windowed
   /// partition heat, windowed latency percentiles, timeline marks. Lands in
   /// the run record's `telemetry` section; off = zero cost and absent key.

@@ -16,6 +16,8 @@ const char* to_string(CommandType t) {
       return "delete";
     case CommandType::kMove:
       return "move";
+    case CommandType::kReconfig:
+      return "reconfig";
   }
   return "?";
 }
@@ -28,6 +30,8 @@ const char* to_string(ReplyCode c) {
       return "retry";
     case ReplyCode::kNok:
       return "nok";
+    case ReplyCode::kRetired:
+      return "retired";
   }
   return "?";
 }

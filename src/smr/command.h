@@ -16,10 +16,11 @@ namespace dssmr::smr {
 /// reaches a partition); the rest are delivered to partitions by atomic
 /// multicast.
 enum class CommandType : std::uint8_t {
-  kAccess,  // application command reading/writing a set of variables
-  kCreate,  // create one variable
-  kDelete,  // delete one variable
-  kMove,    // relocate a set of variables to one partition
+  kAccess,    // application command reading/writing a set of variables
+  kCreate,    // create one variable
+  kDelete,    // delete one variable
+  kMove,      // relocate a set of variables to one partition
+  kReconfig,  // partition-membership record (elastic add/retire), oracle-only
 };
 
 const char* to_string(CommandType t);
@@ -45,6 +46,11 @@ struct Command {
   std::vector<VarId> write_set;
   /// Opaque application argument (e.g. the text of a post).
   std::string arg;
+
+  // -- kReconfig ------------------------------------------------------------
+  // Membership records are multicast to the oracle group only, so they ride
+  // the kMove fields: move_dest names the affected partition and `op` is 0
+  // for add, 1 for retire (see core/oracle.h kReconfigAdd/kReconfigRetire).
 
   // -- kMove ----------------------------------------------------------------
   /// Source partitions variables may currently live in.
@@ -95,8 +101,9 @@ struct BulkMoveMsg final : net::Message {
 
 enum class ReplyCode : std::uint8_t {
   kOk,
-  kRetry,  // partition did not hold all variables — re-consult the oracle
-  kNok,    // command cannot execute (missing/duplicate variable)
+  kRetry,    // partition did not hold all variables — re-consult the oracle
+  kNok,      // command cannot execute (missing/duplicate variable)
+  kRetired,  // partition has drained and left the deployment — re-consult
 };
 
 const char* to_string(ReplyCode c);

@@ -59,7 +59,9 @@ void bump_bucket(std::vector<std::uint64_t>& buckets, std::size_t idx) {
 
 void Recorder::record_command(Time t, std::size_t partition, bool multi) {
   if (!enabled_) return;
-  DSSMR_ASSERT(partition < heat_.size());
+  // Elastic add: partitions booted mid-run index past the enable()-time
+  // table — grow it (their pre-boot buckets stay implicit zeros).
+  if (partition >= heat_.size()) heat_.resize(partition + 1);
   const std::size_t idx = bucket_of(t);
   PartitionHeat& h = heat_[partition];
   bump_bucket(h.commands, idx);
@@ -72,7 +74,7 @@ void Recorder::record_command(Time t, std::size_t partition, bool multi) {
 
 void Recorder::record_move(Time t, std::size_t partition) {
   if (!enabled_) return;
-  DSSMR_ASSERT(partition < heat_.size());
+  if (partition >= heat_.size()) heat_.resize(partition + 1);
   PartitionHeat& h = heat_[partition];
   bump_bucket(h.moves, bucket_of(t));
   ++h.total_moves;

@@ -282,6 +282,35 @@ void write_run_records(std::ostream& os, std::string_view experiment,
       }
       w.end_object();
     }
+    // v7: elasticity summary, present only for runs that carried `elastic.*`
+    // metrics (a ScalePlan was armed). Counters are re-emitted with the
+    // prefix stripped, plus the rebalance chunk-size histogram — one stable
+    // place for scale-out tooling, mirroring the sections above.
+    bool any_elastic = false;
+    for (const auto& [name, c] : run.metrics.counters()) {
+      if (name.starts_with("elastic.")) {
+        any_elastic = true;
+        break;
+      }
+    }
+    if (any_elastic) {
+      w.key("elasticity");
+      w.begin_object();
+      for (const auto& [name, c] : run.metrics.counters()) {
+        if (name.starts_with("elastic.")) w.field(name.substr(8), c.value());
+      }
+      if (const Histogram* h = run.metrics.find_histogram("elastic.drain_time_us");
+          h != nullptr && h->count() > 0) {
+        w.key("drain_time_us");
+        write_histogram(w, *h);
+      }
+      if (const Histogram* h = run.metrics.find_histogram("elastic.rebalance_entries");
+          h != nullptr && h->count() > 0) {
+        w.key("rebalance_entries");
+        write_histogram(w, *h);
+      }
+      w.end_object();
+    }
     w.key("spans");
     write_spans_summary(w, spans);
     w.key("trace");

@@ -1,4 +1,4 @@
-// Machine-readable per-run records (schema "dssmr.run_record.v6").
+// Machine-readable per-run records (schema "dssmr.run_record.v7").
 //
 // Every bench binary can serialize its runs to JSON so the repo's perf
 // trajectory is diffable: counters, histogram summaries (count/min/max/mean/
@@ -16,8 +16,12 @@
 // summarizing the locality fast path — prefetch installs/hits, cache
 // repairs, re-routes, coalesced moves and the bulk-move size histogram
 // (present when a run carried `locality.*` metrics — v6's addition, see
-// core/client_proxy.h and core/move_coalescer.h) — and free-form run
-// metadata (strategy, partitions, seed, ...). The format is documented in
+// core/client_proxy.h and core/move_coalescer.h), an `elasticity` section
+// summarizing live repartitioning — partitions added/retired, rebalance move
+// and variable totals, and the rebalance chunk-size histogram (present when
+// a run carried `elastic.*` metrics, i.e. a ScalePlan was armed — v7's
+// addition, see fault/scaler.h) — and free-form run metadata (strategy,
+// partitions, seed, ...). The format is documented in docs/schema.md and
 // EXPERIMENTS.md; CI asserts one of these files parses and carries a nonzero
 // client.ops.
 #pragma once
@@ -32,7 +36,7 @@
 
 namespace dssmr::stats {
 
-inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v6";
+inline constexpr std::string_view kRunRecordSchema = "dssmr.run_record.v7";
 
 struct RunRecord {
   std::string label;

@@ -21,6 +21,10 @@ std::string_view to_string(TraceEvent e) {
     case TraceEvent::kFaultRecover: return "fault_recover";
     case TraceEvent::kCacheRepair: return "cache_repair";
     case TraceEvent::kRepairReroute: return "repair_reroute";
+    case TraceEvent::kPartitionAdded: return "partition_added";
+    case TraceEvent::kPartitionDraining: return "partition_draining";
+    case TraceEvent::kPartitionRetired: return "partition_retired";
+    case TraceEvent::kRebalanceMove: return "rebalance_move";
     case TraceEvent::kEventCount_: break;  // not a real event
   }
   return "unknown";

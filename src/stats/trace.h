@@ -37,6 +37,10 @@ enum class TraceEvent : std::uint8_t {
   kFaultRecover,   // nemesis restored something (recover, heal, drop burst end)
   kCacheRepair,    // client installed a piggybacked ⟨var, partition, epoch⟩ repair
   kRepairReroute,  // a retry was re-routed from repaired cache state (no consult)
+  kPartitionAdded,     // oracle admitted a fresh partition (kReconfig add delivered)
+  kPartitionDraining,  // oracle marked a partition draining (kReconfig retire delivered)
+  kPartitionRetired,   // scaler observed the drain barrier and retired the partition
+  kRebalanceMove,      // oracle leader issued one chunked rebalance move
   // Add new events directly above and extend to_string(); the sentinel keeps
   // kTraceEventTypes (and every count array) sized automatically, and the
   // static_assert below fails until the last-member reference is updated —
@@ -46,7 +50,7 @@ enum class TraceEvent : std::uint8_t {
 
 inline constexpr std::size_t kTraceEventTypes =
     static_cast<std::size_t>(TraceEvent::kEventCount_);
-static_assert(kTraceEventTypes == static_cast<std::size_t>(TraceEvent::kRepairReroute) + 1,
+static_assert(kTraceEventTypes == static_cast<std::size_t>(TraceEvent::kRebalanceMove) + 1,
               "TraceEvent changed: point this assert at the new last event and add "
               "its to_string() case (stats_test checks exhaustiveness)");
 

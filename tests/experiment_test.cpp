@@ -94,7 +94,7 @@ TEST(Experiment, RunRecordSerializesToJson) {
   std::ostringstream os;
   stats::write_run_records(os, "experiment_test", runs);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v6\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v7\""), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"experiment_test\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"tiny\""), std::string::npos);
   EXPECT_NE(json.find("\"client.ops\""), std::string::npos);

@@ -483,7 +483,7 @@ TEST(RunRecord, SerializesSyntheticMetrics) {
   std::ostringstream os;
   write_run_records(os, "unit", {rec});
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v6\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"dssmr.run_record.v7\""), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"case-a\""), std::string::npos);
   EXPECT_NE(json.find("\"partitions\": \"2\""), std::string::npos);
